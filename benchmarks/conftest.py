@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one table or figure of the paper and prints the
+reproduced rows; run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import pytest

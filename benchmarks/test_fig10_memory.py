@@ -1,0 +1,28 @@
+"""Figure 10: memory footprint of HGT with and without compact materialization."""
+
+from repro.evaluation import memory_footprint_study
+from repro.evaluation.reporting import format_table
+
+
+def test_fig10_memory_footprint(benchmark):
+    rows = benchmark(memory_footprint_study)
+    print()
+    print(format_table(
+        rows,
+        columns=["dataset", "num_edges", "average_degree", "entity_compaction_ratio",
+                 "inference_mem_mib", "training_mem_mib",
+                 "inference_compact_fraction", "training_compact_fraction"],
+        title="Figure 10 — HGT memory footprint and the effect of compact materialization",
+    ))
+    assert len(rows) == 8
+    for row in rows:
+        # Compaction never increases the footprint, and the remaining fraction
+        # is at least the entity compaction ratio (weights and node data are
+        # not compacted).
+        assert row["inference_compact_fraction"] <= 1.0
+        assert row["inference_compact_fraction"] >= row["entity_compaction_ratio"] - 0.05
+        assert row["training_mem_mib"] > row["inference_mem_mib"]
+    # Memory use is roughly proportional to the edge count: the largest graph
+    # uses the most memory.
+    largest = max(rows, key=lambda r: r["num_edges"])
+    assert largest["inference_mem_mib"] == max(r["inference_mem_mib"] for r in rows)

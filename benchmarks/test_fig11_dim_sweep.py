@@ -1,0 +1,30 @@
+"""Figure 11: unoptimised Hector performance across feature dimensions 32/64/128."""
+
+from repro.evaluation import dimension_sweep
+from repro.evaluation.reporting import format_table
+from repro.evaluation.sweep import sublinearity_ratios
+
+
+def test_fig11_dimension_sweep(benchmark):
+    rows = benchmark(dimension_sweep)
+    print()
+    print(format_table(
+        rows,
+        columns=["model", "dataset", "in_dim", "mode", "time_ms", "status"],
+        title="Figure 11 — Hector (unoptimised) time per dataset/model/dimension",
+    ))
+    assert len(rows) == 3 * 8 * 3 * 2  # models × datasets × dims × modes
+    ratios = sublinearity_ratios(rows)
+    assert ratios
+    # The paper's headline observation: doubling the dimensions (4x the work)
+    # increases time sub-linearly (typically < 2x) thanks to better utilisation.
+    sub_two = [r for r in ratios if r["time_ratio"] < 2.0]
+    assert len(sub_two) >= 0.5 * len(ratios)
+    assert all(r["time_ratio"] < 4.0 for r in ratios)
+    # Training is slower than inference in every populated cell.
+    by_key = {(r["model"], r["dataset"], r["in_dim"], r["mode"]): r["time_ms"] for r in rows}
+    for (model, dataset, dim, mode), value in by_key.items():
+        if mode == "training" and value is not None:
+            inference = by_key.get((model, dataset, dim, "inference"))
+            if inference is not None:
+                assert value > inference

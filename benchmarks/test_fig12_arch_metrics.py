@@ -1,0 +1,39 @@
+"""Figure 12: architectural metrics of Hector's generated kernels (RGAT, bgs & am)."""
+
+from repro.evaluation import architectural_metrics
+from repro.evaluation.reporting import format_table
+
+
+def test_fig12_architectural_metrics(benchmark):
+    rows = benchmark(architectural_metrics)
+    print()
+    print(format_table(
+        rows,
+        columns=["dataset", "dim", "config", "category", "direction", "total_duration_s",
+                 "avg_achieved_gflops", "avg_executed_ipc", "avg_dram_throughput_pct"],
+        title="Figure 12 — Architectural metrics of generated kernels (RGAT forward/backward)",
+    ))
+    assert rows
+    gemm_forward = [r for r in rows if r["category"] == "gemm" and r["direction"] == "forward"]
+    traversal_forward = [r for r in rows if r["category"] == "traversal" and r["direction"] == "forward"]
+    gemm_backward = [r for r in rows if r["category"] == "gemm" and r["direction"] == "backward"]
+
+    # GEMM kernels achieve (much) higher arithmetic throughput than traversal kernels.
+    assert min(r["avg_achieved_gflops"] for r in gemm_forward) > max(
+        r["avg_achieved_gflops"] for r in traversal_forward
+    )
+    # Traversal kernels are latency-bound: IPC stays well below the ideal of 4.
+    assert all(r["avg_executed_ipc"] < 3.0 for r in traversal_forward)
+    # Backward kernels have lower throughput than forward (atomics, outer products).
+    assert max(r["avg_achieved_gflops"] for r in gemm_backward) < max(
+        r["avg_achieved_gflops"] for r in gemm_forward
+    )
+    # Throughput increases with the feature dimension (sub-linear time growth).
+    for dataset in ("bgs", "am"):
+        small = [r for r in gemm_forward if r["dataset"] == dataset and r["dim"] == 32]
+        large = [r for r in gemm_forward if r["dataset"] == dataset and r["dim"] == 128]
+        assert max(r["avg_achieved_gflops"] for r in large) > min(r["avg_achieved_gflops"] for r in small)
+    # Throughput also increases with graph scale (bgs -> am), as observed in the paper.
+    bgs64 = [r for r in gemm_forward if r["dataset"] == "bgs" and r["dim"] == 64 and r["config"] == "U"]
+    am64 = [r for r in gemm_forward if r["dataset"] == "am" and r["dim"] == 64 and r["config"] == "U"]
+    assert am64[0]["avg_achieved_gflops"] >= bgs64[0]["avg_achieved_gflops"]

@@ -1,0 +1,43 @@
+"""Figure 8: end-to-end training and inference comparison across systems and datasets."""
+
+import pytest
+
+from repro.evaluation import run_full_comparison
+from repro.evaluation.reporting import format_table
+from repro.graph.datasets import dataset_names
+from repro.models import MODEL_NAMES
+
+
+def _flatten(results):
+    rows = []
+    for result in results:
+        rows.extend(result.as_rows())
+    return rows
+
+
+def test_fig8b_inference_comparison(benchmark):
+    results = benchmark(run_full_comparison, modes=("inference",))
+    rows = _flatten(results)
+    print()
+    print(format_table(rows, title="Figure 8(b) — Inference time (ms) per system, model, dataset"))
+    # Hector never OOMs with compaction enabled and beats the best baseline everywhere it runs.
+    for result in results:
+        hector = result.estimates["Hector (C+R)"]
+        assert not hector.oom, (result.model, result.dataset)
+        ratio = result.hector_speedup("C+R")
+        assert ratio is None or ratio > 1.0, (result.model, result.dataset, ratio)
+
+
+def test_fig8a_training_comparison(benchmark):
+    results = benchmark(run_full_comparison, modes=("training",))
+    rows = _flatten(results)
+    print()
+    print(format_table(rows, title="Figure 8(a) — Training time (ms) per system, model, dataset"))
+    speedups = [r.hector_speedup("C+R") for r in results if r.hector_speedup("C+R") is not None]
+    assert speedups and min(speedups) > 1.0
+    # Baselines hit OOM on the large datasets; Hector (C+R) does not.
+    baseline_ooms = sum(
+        1 for result in results for name, est in result.estimates.items()
+        if not name.startswith("Hector") and est.oom
+    )
+    assert baseline_ooms > 0

@@ -1,0 +1,28 @@
+"""Figure 9: Hector RGAT inference time split by kernel category under U/C/R/C+R."""
+
+from repro.evaluation import hector_kernel_breakdown
+from repro.evaluation.reporting import format_table
+
+
+def test_fig9_hector_kernel_breakdown(benchmark):
+    rows = benchmark(hector_kernel_breakdown)
+    print()
+    print(format_table(
+        rows,
+        columns=["dataset", "config", "gemm_ms", "traversal_ms", "others_ms", "total_ms", "status"],
+        title="Figure 9 — Hector RGAT inference breakdown (AM, FB15k) by kernel category",
+    ))
+    assert len(rows) == 8  # 2 datasets × 4 configurations
+    for dataset in ("am", "fb15k"):
+        unopt = next(r for r in rows if r["dataset"] == dataset and r["config"] == "U")
+        compact = next(r for r in rows if r["dataset"] == dataset and r["config"] == "C")
+        # Compaction reduces the GEMM share (fewer rows to project).
+        assert compact["gemm_ms"] < unopt["gemm_ms"]
+    # AM compacts better than FB15k in relative GEMM terms only when its
+    # compaction ratio is lower; the paper observes the larger GEMM reduction
+    # on AM.  Check both see a reduction and the combined config is fastest
+    # or tied on each dataset.
+    for dataset in ("am", "fb15k"):
+        subset = [r for r in rows if r["dataset"] == dataset]
+        best = min(subset, key=lambda r: r["total_ms"])
+        assert best["config"] in ("C", "C+R")

@@ -1,0 +1,19 @@
+"""Section 4.1 programming-effort metric: tiny model definitions, thousands of generated lines."""
+
+from repro.evaluation import programming_effort_metric
+from repro.evaluation.reporting import format_table
+
+
+def test_loc_programming_effort(benchmark):
+    metric = benchmark(programming_effort_metric)
+    print()
+    print(format_table(metric["per_model"], title="Programming effort — input vs generated lines of code"))
+    totals = metric["totals"]
+    print(f"Totals: input={totals['input_lines']} lines, generated={totals['generated_total']} lines "
+          f"(python={totals['generated_python']}, cuda={totals['generated_cuda']}, "
+          f"host={totals['generated_host']}), expansion ×{totals['expansion_factor']:.0f}")
+    # The paper: 51 input lines -> ~8K generated lines for the three models.
+    assert totals["input_lines"] < 120
+    assert totals["generated_total"] > 2000
+    assert totals["expansion_factor"] > 20
+    assert len(metric["per_model"]) == 3

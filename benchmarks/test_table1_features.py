@@ -1,0 +1,14 @@
+"""Table 1: feature comparison of Hector and prior GNN compilers."""
+
+from repro.baselines import feature_table_rows
+from repro.evaluation.reporting import format_table
+
+
+def test_table1_feature_comparison(benchmark):
+    rows = benchmark(feature_table_rows)
+    print()
+    print(format_table(rows, title="Table 1 — Features of Hector and prior GNN compilers"))
+    hector = {row["feature"]: row["Hector"] for row in rows}
+    assert hector["Target: training"] is True
+    assert hector["Design space: data layout"] is True
+    assert hector["Design space: intra-operator schedule"] is True

@@ -1,0 +1,15 @@
+"""Table 3: heterogeneous graph datasets used in the evaluation."""
+
+from repro.evaluation.reporting import format_table
+from repro.graph.datasets import table3_rows
+
+
+def test_table3_dataset_statistics(benchmark):
+    rows = benchmark(table3_rows)
+    print()
+    print(format_table(rows, title="Table 3 — Heterogeneous graph datasets"))
+    assert len(rows) == 8
+    by_name = {row["name"]: row for row in rows}
+    assert by_name["mag"]["num_edges"] == 21_000_000
+    assert by_name["aifb"]["num_edge_types"] == 104
+    assert by_name["wikikg2"]["num_node_types"] == 1

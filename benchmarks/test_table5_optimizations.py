@@ -1,0 +1,26 @@
+"""Table 5: speed-up from compact materialization (C) and linear operator reordering (R)."""
+
+from repro.evaluation import optimization_speedups
+from repro.evaluation.optimizations import best_fixed_strategy
+from repro.evaluation.reporting import format_table
+
+
+def test_table5_optimization_speedups(benchmark):
+    rows = benchmark(optimization_speedups)
+    print()
+    print(format_table(
+        rows,
+        columns=["model", "mode", "dataset", "reference", "C", "R", "C+R"],
+        title="Table 5 — Speed-up over unoptimised Hector from compaction (C) and reordering (R)",
+    ))
+    averages = [r for r in rows if r["dataset"] == "AVERAGE"]
+    assert len(averages) == 4  # {RGAT, HGT} × {training, inference}
+    for row in averages:
+        assert row["C+R"] > 1.0
+    # Enabling both optimizations is the best fixed strategy on average.
+    assert best_fixed_strategy(rows) == "C+R"
+    # Compaction helps most where the entity compaction ratio is smallest (biokg).
+    rgat_inference = [r for r in rows if r["model"] == "RGAT" and r["mode"] == "inference"
+                      and r["dataset"] not in ("AVERAGE",)]
+    biokg = next(r for r in rgat_inference if r["dataset"] == "biokg")
+    assert biokg["C"] == max(r["C"] for r in rgat_inference if r["C"] is not None)

@@ -1,0 +1,51 @@
+"""Quickstart: compile an RGCN layer for a heterogeneous graph and run it.
+
+Covers the core workflow of the Hector reproduction:
+
+1. build (or load) a heterogeneous graph,
+2. compile a model with chosen optimizations (compact materialization and
+   linear operator reordering),
+3. run forward and backward through the generated kernels,
+4. inspect the generated artefacts (kernel plan, Python kernels, CUDA-like text).
+
+Run with: ``python examples/quickstart.py``
+"""
+
+import numpy as np
+
+from repro import CompilerOptions, compile_model
+from repro.graph import random_hetero_graph
+
+IN_DIM = OUT_DIM = 32
+
+
+def main() -> None:
+    # A small citation-style heterogeneous graph: 3 node types, 8 relations.
+    graph = random_hetero_graph(
+        num_nodes=500, num_edges=4000, num_node_types=3, num_edge_types=8,
+        seed=0, name="quickstart",
+    )
+    print(f"graph: {graph}")
+    print(f"entity compaction ratio: {graph.entity_compaction_ratio:.2f}")
+
+    options = CompilerOptions(compact_materialization=True, linear_operator_reordering=True)
+    module = compile_model("rgcn", graph, in_dim=IN_DIM, out_dim=OUT_DIM, options=options, seed=1)
+    print(f"\ncompiled plan: {module.plan.summary()}")
+
+    features = np.random.default_rng(0).standard_normal((graph.num_nodes, IN_DIM))
+    outputs = module.forward(features)
+    h_out = outputs["h_out"]
+    print(f"\nforward output shape: {h_out.shape}, mean activation {h_out.mean():.4f}")
+
+    # Backward through the generated (paired) backward kernels.
+    module.backward({"h_out": np.ones_like(h_out) / h_out.size})
+    grad_norms = {name: float(np.linalg.norm(p.grad)) for name, p in module.parameters_by_name.items()}
+    print(f"parameter gradient norms: { {k: round(v, 4) for k, v in grad_norms.items()} }")
+
+    # Inspect the generated kernels.
+    print("\nfirst 25 lines of the generated Python kernels:")
+    print("\n".join(module.generated_source().splitlines()[:25]))
+
+
+if __name__ == "__main__":
+    main()

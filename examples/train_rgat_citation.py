@@ -1,0 +1,72 @@
+"""Train a single-head RGAT layer on a synthetic citation knowledge graph.
+
+Mirrors the paper's training methodology (Section 4.1): full-graph training
+with a negative log-likelihood loss against random labels, running entirely
+through Hector's generated forward and backward kernels, with SGD updates on
+the typed weights.  Also prints the optimization effect of compaction +
+reordering on the compiled plan.
+
+Run with: ``python examples/train_rgat_citation.py``
+"""
+
+import numpy as np
+
+from repro import CompilerOptions, compile_model
+from repro.graph import load_dataset
+from repro.graph.generators import random_labels
+from repro.tensor import optim
+
+DIM = 32
+NUM_CLASSES = DIM  # the layer output doubles as class logits
+EPOCHS = 20
+
+
+def softmax_cross_entropy(logits: np.ndarray, labels: np.ndarray):
+    """Loss value and gradient of mean cross-entropy over all nodes."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    n = logits.shape[0]
+    loss = -log_probs[np.arange(n), labels].mean()
+    grad = np.exp(log_probs)
+    grad[np.arange(n), labels] -= 1.0
+    return loss, grad / n
+
+
+def main() -> None:
+    # A scaled instantiation of the aifb citation dataset (Table 3 structure).
+    graph = load_dataset("aifb", max_edges=6000)
+    print(f"graph: {graph}")
+
+    for label, options in (
+        ("unoptimised", CompilerOptions()),
+        ("compaction + reordering", CompilerOptions(compact_materialization=True,
+                                                    linear_operator_reordering=True)),
+    ):
+        module = compile_model("rgat", graph, in_dim=DIM, out_dim=DIM, options=options, seed=0)
+        summary = module.plan.summary()
+        print(f"\n[{label}] kernels: {summary['num_gemm_kernels']} GEMM, "
+              f"{summary['num_traversal_kernels']} traversal, {summary['num_fallback_kernels']} fallback")
+
+    module = compile_model(
+        "rgat", graph, in_dim=DIM, out_dim=DIM,
+        options=CompilerOptions(compact_materialization=True, linear_operator_reordering=True), seed=0,
+    )
+    features = np.random.default_rng(0).standard_normal((graph.num_nodes, DIM))
+    labels = random_labels(graph, NUM_CLASSES, seed=1)
+    optimizer = optim.Adam(module.parameters(), lr=0.01)
+
+    print("\ntraining:")
+    for epoch in range(EPOCHS):
+        optimizer.zero_grad()
+        module.zero_grad()
+        logits = module.forward(features)["out"]
+        loss, grad = softmax_cross_entropy(logits, labels)
+        module.backward({"out": grad})
+        optimizer.step()
+        if epoch % 5 == 0 or epoch == EPOCHS - 1:
+            accuracy = (logits.argmax(axis=1) == labels).mean()
+            print(f"  epoch {epoch:3d}  loss {loss:.4f}  train accuracy {accuracy:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Reproduction of Hector (ASPLOS 2024): a two-level IR and code-generation
+framework for relational graph neural networks.
+
+Public entry points:
+
+* :func:`repro.compile_model` / :func:`repro.compile_program` — compile an
+  RGNN (RGCN, RGAT, HGT) into generated kernels bound to a heterogeneous graph.
+* :mod:`repro.graph` — heterogeneous graph substrate and the Table 3 datasets.
+* :mod:`repro.tensor` — the numpy autograd tensor substrate.
+* :mod:`repro.ir` — the two-level IR, passes, templates, and code generator.
+* :mod:`repro.gpu` — the analytical GPU cost model (RTX 3090 stand-in).
+* :mod:`repro.baselines` — models of DGL, PyG, Seastar, Graphiler, and HGL.
+* :mod:`repro.evaluation` — the harness reproducing every table and figure.
+"""
+
+from repro.frontend import CompilerOptions, compile_model, compile_program, hector_compile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompilerOptions",
+    "compile_model",
+    "compile_program",
+    "hector_compile",
+    "__version__",
+]

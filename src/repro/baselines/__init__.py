@@ -1,0 +1,46 @@
+"""Baseline RGNN system models.
+
+Each baseline is described by the execution strategy the paper attributes to
+it (Sections 2.3, 4.2, 5): how it implements typed linear layers (segment MM,
+per-relation kernel loops, or weight replication plus batched matmul), whether
+it materialises gathered operands with separate indexing/copy kernels, whether
+its message-passing kernels are fused, whether it replicates per-type weights,
+and how much host-side framework overhead each operator call costs.  The
+strategies are executed against the shared GPU cost and memory models, which
+is what produces the comparative figures.
+"""
+
+from repro.baselines.base import (
+    BaselineConfig,
+    BaselineSystem,
+    SystemEstimate,
+    UnsupportedModelError,
+)
+from repro.baselines.systems import (
+    ALL_BASELINES,
+    DGLSystem,
+    GraphilerSystem,
+    HGLSystem,
+    PyGSystem,
+    SeastarSystem,
+    get_baseline,
+)
+from repro.baselines.hector_system import HectorSystem
+from repro.baselines.capabilities import TABLE1_FEATURES, feature_table_rows
+
+__all__ = [
+    "BaselineConfig",
+    "BaselineSystem",
+    "SystemEstimate",
+    "UnsupportedModelError",
+    "DGLSystem",
+    "PyGSystem",
+    "SeastarSystem",
+    "GraphilerSystem",
+    "HGLSystem",
+    "HectorSystem",
+    "ALL_BASELINES",
+    "get_baseline",
+    "TABLE1_FEATURES",
+    "feature_table_rows",
+]

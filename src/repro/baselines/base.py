@@ -1,0 +1,459 @@
+"""Shared machinery of the baseline system models.
+
+A baseline's execution of one RGNN layer is assembled from building blocks
+(typed linear layers, gather/copy kernels, SDDMM-style dot products, edge
+softmax, SpMM aggregation) according to its :class:`BaselineConfig`.  The
+blocks produce :class:`repro.gpu.costmodel.KernelWork` records priced by the
+shared GPU cost model, and buffer footprints summed by the shared memory
+model, so all systems are compared on identical terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.gpu.costmodel import ExecutionEstimate, KernelWork, estimate_execution
+from repro.gpu.device import DeviceSpec, RTX_3090
+from repro.runtime.memory import OutOfMemoryError, check_footprint
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only, avoids an import cycle
+    from repro.evaluation.workload import WorkloadSpec
+
+FLOAT_BYTES = 4
+INDEX_BYTES = 8
+
+
+class UnsupportedModelError(RuntimeError):
+    """Raised when a system has no implementation for a model/mode combination."""
+
+
+@dataclass
+class SystemEstimate:
+    """Result of evaluating one system on one workload."""
+
+    system: str
+    model: str
+    workload: str
+    mode: str
+    estimate: Optional[ExecutionEstimate]
+    memory_bytes: float
+    oom: bool = False
+    unsupported: bool = False
+
+    @property
+    def time_ms(self) -> Optional[float]:
+        if self.oom or self.unsupported or self.estimate is None:
+            return None
+        return self.estimate.total_time_ms
+
+    def status(self) -> str:
+        if self.unsupported:
+            return "n/a"
+        if self.oom:
+            return "OOM"
+        return f"{self.time_ms:.2f} ms"
+
+
+@dataclass
+class BaselineConfig:
+    """Execution-strategy description of a baseline system.
+
+    Attributes:
+        name: system name as used in the paper's figures.
+        typed_linear_strategy: per model, one of ``"segment"`` (one segmented
+            GEMM kernel), ``"per_relation"`` (one GEMM launch per relation),
+            ``"replicate_bmm"`` (materialise a per-row weight tensor, then a
+            batched matmul).
+        separate_gather_kernels: materialise gathered operands with dedicated
+            indexing/copy kernels before compute kernels (the "Indexing /
+            Copying" share of Figure 3).
+        fused_message_passing: elementwise/softmax/aggregation stages are
+            fused into few kernels (compiled systems) rather than one kernel
+            per framework operator.
+        replicates_weights: keeps a per-edge (or per-node) copy of the typed
+            weights in device memory (memory-footprint penalty and extra
+            gradient buffers in training).
+        host_overhead_us: host framework overhead per operator call.
+        supports_training / supports_inference: evaluation modes available.
+        supported_models: models the system implements.
+        rgat_unfused_penalty: extra unfused elementwise kernels RGAT needs
+            when the system's pre-programmed fused kernels do not cover it
+            (Graphiler's degradation in Section 4.2).
+    """
+
+    name: str
+    typed_linear_strategy: Dict[str, str]
+    separate_gather_kernels: bool = True
+    fused_message_passing: bool = False
+    replicates_weights: bool = False
+    host_overhead_us: float = 30.0
+    supports_training: bool = True
+    supports_inference: bool = True
+    supported_models: Sequence[str] = ("rgcn", "rgat", "hgt")
+    rgat_unfused_penalty: int = 0
+
+
+# ----------------------------------------------------------------------
+# kernel-work building blocks
+# ----------------------------------------------------------------------
+def gemm_work(name: str, rows: int, k_dim: int, n_dim: int, num_weight_slices: int = 1,
+              gathered: bool = False, category: str = "gemm") -> KernelWork:
+    """A single (possibly segmented) GEMM over ``rows`` rows."""
+    bytes_read = rows * k_dim * FLOAT_BYTES + num_weight_slices * k_dim * n_dim * FLOAT_BYTES
+    if gathered:
+        bytes_read += rows * INDEX_BYTES
+    return KernelWork(
+        name=name,
+        category=category,
+        flops=2.0 * rows * k_dim * n_dim,
+        bytes_read=bytes_read,
+        bytes_written=rows * n_dim * FLOAT_BYTES,
+        launches=1,
+        host_ops=1,
+        rows=rows,
+        cols=n_dim,
+    )
+
+
+def per_relation_gemm_works(name: str, relation_counts: np.ndarray, k_dim: int, n_dim: int) -> List[KernelWork]:
+    """One GEMM launch per relation (DGL HeteroConv / PyG RGCNConv behaviour)."""
+    works: List[KernelWork] = []
+    for index, count in enumerate(relation_counts):
+        rows = int(count)
+        if rows <= 0:
+            continue
+        works.append(gemm_work(f"{name}_rel{index}", rows, k_dim, n_dim, num_weight_slices=1))
+    return works
+
+
+def weight_replication_work(name: str, rows: int, k_dim: int, n_dim: int, num_types: int) -> KernelWork:
+    """Materialise ``W'[i] = W[T[i]]`` — the redundant copy of Section 2.3."""
+    return KernelWork(
+        name=name,
+        category="index_copy",
+        flops=0.0,
+        bytes_read=num_types * k_dim * n_dim * FLOAT_BYTES + rows * INDEX_BYTES,
+        bytes_written=rows * k_dim * n_dim * FLOAT_BYTES,
+        launches=1,
+        host_ops=1,
+        rows=rows,
+        cols=k_dim * n_dim,
+    )
+
+
+def bmm_with_replicated_weights_work(name: str, rows: int, k_dim: int, n_dim: int) -> KernelWork:
+    """Batched matmul whose weight operand is the materialised per-row tensor."""
+    return KernelWork(
+        name=name,
+        category="gemm",
+        flops=2.0 * rows * k_dim * n_dim,
+        bytes_read=rows * k_dim * FLOAT_BYTES + rows * k_dim * n_dim * FLOAT_BYTES,
+        bytes_written=rows * n_dim * FLOAT_BYTES,
+        launches=1,
+        host_ops=1,
+        rows=rows,
+        cols=n_dim,
+    )
+
+
+def gather_copy_work(name: str, rows: int, dim: int) -> KernelWork:
+    """Dedicated indexing/copy kernel materialising gathered rows."""
+    return KernelWork(
+        name=name,
+        category="index_copy",
+        flops=0.0,
+        bytes_read=rows * dim * FLOAT_BYTES + rows * INDEX_BYTES,
+        bytes_written=rows * dim * FLOAT_BYTES,
+        launches=1,
+        host_ops=1,
+        rows=rows,
+        cols=dim,
+    )
+
+
+def elementwise_work(name: str, rows: int, dim: int, launches: int = 1) -> KernelWork:
+    """Per-row elementwise kernel (scale, add, activation)."""
+    return KernelWork(
+        name=name,
+        category="traversal",
+        flops=float(rows * dim),
+        bytes_read=2.0 * rows * dim * FLOAT_BYTES,
+        bytes_written=rows * dim * FLOAT_BYTES,
+        launches=launches,
+        host_ops=launches,
+        rows=rows,
+        cols=dim,
+    )
+
+
+def sddmm_work(name: str, edges: int, dim: int) -> KernelWork:
+    """Per-edge dot products of gathered endpoint features."""
+    return KernelWork(
+        name=name,
+        category="traversal",
+        flops=2.0 * edges * dim,
+        bytes_read=2.0 * edges * dim * FLOAT_BYTES + 2.0 * edges * INDEX_BYTES,
+        bytes_written=edges * FLOAT_BYTES,
+        launches=1,
+        host_ops=1,
+        rows=edges,
+        cols=dim,
+    )
+
+
+def spmm_work(name: str, edges: int, nodes: int, dim: int, weighted: bool = True) -> KernelWork:
+    """Aggregation of edge rows into destination nodes (atomic scatter-add)."""
+    bytes_read = edges * dim * FLOAT_BYTES + edges * INDEX_BYTES
+    if weighted:
+        bytes_read += edges * FLOAT_BYTES
+    return KernelWork(
+        name=name,
+        category="traversal",
+        flops=float(edges * dim) * (2.0 if weighted else 1.0),
+        bytes_read=bytes_read,
+        bytes_written=nodes * dim * FLOAT_BYTES,
+        launches=1,
+        host_ops=1,
+        rows=edges,
+        cols=dim,
+        uses_atomics=True,
+    )
+
+
+def edge_softmax_works(name: str, edges: int, nodes: int, fused: bool) -> List[KernelWork]:
+    """Edge softmax: exp, per-destination sum, broadcast-divide."""
+    if fused:
+        return [
+            KernelWork(
+                name=f"{name}_fused",
+                category="traversal",
+                flops=6.0 * edges,
+                bytes_read=2.0 * edges * FLOAT_BYTES + edges * INDEX_BYTES,
+                bytes_written=edges * FLOAT_BYTES + nodes * FLOAT_BYTES,
+                launches=2,
+                host_ops=1,
+                rows=edges,
+                cols=1,
+                uses_atomics=True,
+            )
+        ]
+    return [
+        elementwise_work(f"{name}_exp", edges, 1),
+        spmm_work(f"{name}_sum", edges, nodes, 1, weighted=False),
+        elementwise_work(f"{name}_div", edges, 1),
+    ]
+
+
+def backward_works(forward: Sequence[KernelWork]) -> List[KernelWork]:
+    """Derive backward-pass work from a forward kernel sequence.
+
+    GEMM-like kernels produce an input-gradient GEMM and a weight-gradient
+    GEMM (outer products, atomic accumulation); traversal kernels produce one
+    adjoint kernel with atomics and roughly doubled traffic; pure copy kernels
+    produce a scatter-style adjoint.
+    """
+    backward: List[KernelWork] = []
+    for work in reversed(forward):
+        if work.category == "gemm":
+            backward.append(
+                KernelWork(
+                    name=f"{work.name}_dgrad",
+                    category="gemm",
+                    flops=work.flops,
+                    bytes_read=work.bytes_read,
+                    bytes_written=work.bytes_written,
+                    launches=work.launches,
+                    host_ops=work.host_ops,
+                    rows=work.rows,
+                    cols=work.cols,
+                    uses_atomics=True,
+                    direction="backward",
+                )
+            )
+            backward.append(
+                KernelWork(
+                    name=f"{work.name}_wgrad",
+                    category="gemm",
+                    flops=work.flops,
+                    bytes_read=work.bytes_read,
+                    bytes_written=work.bytes_written * 0.5,
+                    launches=work.launches,
+                    host_ops=work.host_ops,
+                    rows=work.rows,
+                    cols=work.cols,
+                    uses_atomics=True,
+                    has_outer_product=True,
+                    direction="backward",
+                )
+            )
+        else:
+            backward.append(
+                KernelWork(
+                    name=f"{work.name}_bwd",
+                    category=work.category,
+                    flops=2.0 * work.flops,
+                    bytes_read=2.0 * work.bytes_read,
+                    bytes_written=2.0 * work.bytes_written,
+                    launches=work.launches,
+                    host_ops=work.host_ops,
+                    rows=work.rows,
+                    cols=work.cols,
+                    uses_atomics=True,
+                    direction="backward",
+                )
+            )
+    return backward
+
+
+# ----------------------------------------------------------------------
+# the baseline system driver
+# ----------------------------------------------------------------------
+class BaselineSystem:
+    """A baseline system evaluated through the shared cost and memory models."""
+
+    def __init__(self, config: BaselineConfig):
+        self.config = config
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    # -- support matrix ---------------------------------------------------
+    def supports(self, model: str, training: bool) -> bool:
+        if model not in self.config.supported_models:
+            return False
+        return self.config.supports_training if training else self.config.supports_inference
+
+    # -- kernel plans -------------------------------------------------------
+    def forward_works(self, model: str, workload: WorkloadSpec) -> List[KernelWork]:
+        """Kernel work of one forward pass of ``model`` under ``workload``."""
+        builder = {
+            "rgcn": self._rgcn_forward,
+            "rgat": self._rgat_forward,
+            "hgt": self._hgt_forward,
+        }.get(model)
+        if builder is None:
+            raise UnsupportedModelError(f"{self.name} has no {model} implementation")
+        return builder(workload)
+
+    def works(self, model: str, workload: WorkloadSpec, training: bool) -> List[KernelWork]:
+        forward = self.forward_works(model, workload)
+        if not training:
+            return forward
+        return forward + backward_works(forward)
+
+    # -- typed linear layers ------------------------------------------------
+    def _typed_linear(self, name: str, model: str, workload: WorkloadSpec, rows: int,
+                      k_dim: int, n_dim: int, num_types: int,
+                      relation_counts: Optional[np.ndarray] = None,
+                      gather_rows_dim: Optional[int] = None) -> List[KernelWork]:
+        """Typed linear layer according to the system's strategy for ``model``."""
+        strategy = self.config.typed_linear_strategy.get(model, "per_relation")
+        works: List[KernelWork] = []
+        if self.config.separate_gather_kernels and gather_rows_dim is not None:
+            works.append(gather_copy_work(f"{name}_gather", rows, gather_rows_dim))
+        if strategy == "segment":
+            works.append(gemm_work(name, rows, k_dim, n_dim, num_weight_slices=num_types, gathered=True))
+        elif strategy == "replicate_bmm":
+            works.append(weight_replication_work(f"{name}_replicate_w", rows, k_dim, n_dim, num_types))
+            works.append(bmm_with_replicated_weights_work(name, rows, k_dim, n_dim))
+        else:  # per_relation
+            counts = relation_counts if relation_counts is not None else workload.relation_edge_counts
+            works.extend(per_relation_gemm_works(name, counts, k_dim, n_dim))
+        return works
+
+    # -- per-model forward plans ---------------------------------------------
+    def _rgcn_forward(self, workload: WorkloadSpec) -> List[KernelWork]:
+        E, N = workload.num_edges, workload.num_nodes
+        d_in, d_out = workload.in_dim, workload.out_dim
+        works: List[KernelWork] = []
+        works += self._typed_linear("rgcn_msg", "rgcn", workload, E, d_in, d_out,
+                                    workload.num_edge_types, gather_rows_dim=d_in)
+        works.append(elementwise_work("rgcn_norm_scale", E, d_out))
+        works.append(spmm_work("rgcn_aggregate", E, N, d_out, weighted=False))
+        works.append(gemm_work("rgcn_self_loop", N, d_in, d_out))
+        works.append(elementwise_work("rgcn_add_relu", N, d_out))
+        return works
+
+    def _rgat_forward(self, workload: WorkloadSpec) -> List[KernelWork]:
+        E, N = workload.num_edges, workload.num_nodes
+        d_in, d_out = workload.in_dim, workload.out_dim
+        works: List[KernelWork] = []
+        works += self._typed_linear("rgat_hs", "rgat", workload, E, d_in, d_out,
+                                    workload.num_edge_types, gather_rows_dim=d_in)
+        works += self._typed_linear("rgat_ht", "rgat", workload, E, d_in, d_out,
+                                    workload.num_edge_types, gather_rows_dim=d_in)
+        works.append(sddmm_work("rgat_atts", E, d_out))
+        works.append(sddmm_work("rgat_attt", E, d_out))
+        works.append(elementwise_work("rgat_add_leaky", E, 1, launches=1 if self.config.fused_message_passing else 2))
+        works += edge_softmax_works("rgat_softmax", E, N, fused=self.config.fused_message_passing)
+        works.append(spmm_work("rgat_aggregate", E, N, d_out, weighted=True))
+        for index in range(self.config.rgat_unfused_penalty):
+            works.append(elementwise_work(f"rgat_unfused_extra_{index}", E, d_out))
+        return works
+
+    def _hgt_forward(self, workload: WorkloadSpec) -> List[KernelWork]:
+        E, N = workload.num_edges, workload.num_nodes
+        d_in, d_out = workload.in_dim, workload.out_dim
+        node_counts = workload.node_type_counts
+        works: List[KernelWork] = []
+        for projection in ("k", "q", "v"):
+            works += self._typed_linear(f"hgt_{projection}_proj", "hgt", workload, N, d_in, d_out,
+                                        workload.num_node_types, relation_counts=node_counts)
+        works += self._typed_linear("hgt_k_att", "hgt", workload, E, d_out, d_out,
+                                    workload.num_edge_types, gather_rows_dim=d_out)
+        works.append(sddmm_work("hgt_att_dot", E, d_out))
+        works += edge_softmax_works("hgt_softmax", E, N, fused=self.config.fused_message_passing)
+        works += self._typed_linear("hgt_msg", "hgt", workload, E, d_out, d_out,
+                                    workload.num_edge_types, gather_rows_dim=d_out)
+        works.append(spmm_work("hgt_aggregate", E, N, d_out, weighted=True))
+        works += self._typed_linear("hgt_out_proj", "hgt", workload, N, d_out, d_out,
+                                    workload.num_node_types, relation_counts=node_counts)
+        works.append(elementwise_work("hgt_residual", N, d_out))
+        return works
+
+    # -- memory model ---------------------------------------------------------
+    def memory_bytes(self, model: str, workload: WorkloadSpec, training: bool) -> float:
+        """Device footprint of one pass (weights, features, intermediates, grads)."""
+        E, N = workload.num_edges, workload.num_nodes
+        d_in, d_out = workload.in_dim, workload.out_dim
+        T_e, T_n = workload.num_edge_types, workload.num_node_types
+        weights = {
+            "rgcn": T_e * d_in * d_out + d_in * d_out,
+            "rgat": T_e * d_in * d_out + 2 * T_e * d_out,
+            "hgt": 3 * T_n * d_in * d_out + 2 * T_e * d_out * d_out + T_n * d_out * d_out,
+        }[model] * FLOAT_BYTES
+        features = N * (d_in + d_out) * FLOAT_BYTES
+        edge_intermediates = {
+            "rgcn": E * d_out,
+            "rgat": 2 * E * d_out + 5 * E,
+            "hgt": 2 * E * d_out + 3 * E + 3 * N * d_out,
+        }[model] * FLOAT_BYTES
+        if self.config.separate_gather_kernels:
+            edge_intermediates += E * d_in * FLOAT_BYTES
+        total = weights + features + edge_intermediates
+        if self.config.replicates_weights:
+            total += E * d_in * d_out * FLOAT_BYTES
+        total += 3 * E * INDEX_BYTES  # COO structure
+        if training:
+            total *= 2.0  # gradient buffers for every materialised tensor
+        return total
+
+    # -- end-to-end estimate ---------------------------------------------------
+    def estimate(self, model: str, workload: WorkloadSpec, training: bool,
+                 device: DeviceSpec = RTX_3090) -> SystemEstimate:
+        """Evaluate the system on one workload; reports OOM / unsupported cases."""
+        mode = "training" if training else "inference"
+        if not self.supports(model, training):
+            return SystemEstimate(self.name, model, workload.name, mode, None, 0.0, unsupported=True)
+        memory = self.memory_bytes(model, workload, training)
+        try:
+            check_footprint(memory, device.memory_bytes, label=f"{self.name}/{model}/{workload.name}")
+        except OutOfMemoryError:
+            return SystemEstimate(self.name, model, workload.name, mode, None, memory, oom=True)
+        works = self.works(model, workload, training)
+        estimate = estimate_execution(works, device, self.config.host_overhead_us)
+        return SystemEstimate(self.name, model, workload.name, mode, estimate, memory)

@@ -1,0 +1,67 @@
+"""Feature comparison of Hector and prior GNN compilers (Table 1)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: Table 1 of the paper: which capabilities each system covers.
+TABLE1_FEATURES: Dict[str, Dict[str, object]] = {
+    "Graphiler": {
+        "target_inference": True,
+        "target_training": False,
+        "memory_efficiency": True,
+        "design_space_data_layout": False,
+        "design_space_intra_operator_schedule": False,
+        "design_space_inter_operator_optimization": True,
+    },
+    "Seastar": {
+        "target_inference": True,
+        "target_training": True,
+        "memory_efficiency": False,
+        "design_space_data_layout": False,
+        "design_space_intra_operator_schedule": False,
+        "design_space_inter_operator_optimization": True,
+    },
+    "HGL": {
+        "target_inference": False,
+        "target_training": True,
+        "memory_efficiency": False,
+        "design_space_data_layout": False,
+        "design_space_intra_operator_schedule": False,
+        "design_space_inter_operator_optimization": True,
+    },
+    "Hector": {
+        "target_inference": True,
+        "target_training": True,
+        "memory_efficiency": "better",
+        "design_space_data_layout": True,
+        "design_space_intra_operator_schedule": True,
+        "design_space_inter_operator_optimization": True,
+    },
+}
+
+#: Row order / labels used when printing the table.
+FEATURE_LABELS = [
+    ("target_inference", "Target: inference"),
+    ("target_training", "Target: training"),
+    ("memory_efficiency", "Memory efficiency"),
+    ("design_space_data_layout", "Design space: data layout"),
+    ("design_space_intra_operator_schedule", "Design space: intra-operator schedule"),
+    ("design_space_inter_operator_optimization", "Design space: inter-operator optimization"),
+]
+
+
+def feature_table_rows() -> List[Dict[str, object]]:
+    """Rows of Table 1: one per feature, with a column per system."""
+    rows: List[Dict[str, object]] = []
+    for key, label in FEATURE_LABELS:
+        row: Dict[str, object] = {"feature": label}
+        for system, features in TABLE1_FEATURES.items():
+            row[system] = features[key]
+        rows.append(row)
+    return rows
+
+
+def hector_claimed_features() -> Dict[str, object]:
+    """Hector's column of Table 1 (used by capability tests)."""
+    return dict(TABLE1_FEATURES["Hector"])

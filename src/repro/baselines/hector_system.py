@@ -1,0 +1,74 @@
+"""Hector presented through the same evaluation interface as the baselines.
+
+The difference from the baseline models is fundamental: Hector's kernel work
+is not hand-described — it is derived from the kernel plan the actual compiler
+produced for the requested optimization configuration, so every effect the
+passes have (fewer GEMM rows under compact materialization, eliminated
+projections under reordering, fused traversal kernels, single segmented GEMM
+launches) shows up in the cost and memory models automatically.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.baselines.base import SystemEstimate
+from repro.frontend.compiler import CompilationResult, compile_program
+from repro.frontend.config import CompilerOptions
+from repro.gpu.costmodel import KernelWork, estimate_execution, kernel_work_from_instance
+from repro.gpu.device import DeviceSpec, RTX_3090
+from repro.models import build_program
+from repro.runtime.memory import OutOfMemoryError, check_footprint
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only, avoids an import cycle
+    from repro.evaluation.workload import WorkloadSpec
+
+#: Host overhead per generated-kernel invocation: Hector launches precompiled
+#: kernels from generated host functions, avoiding per-operator framework
+#: dispatch.
+HECTOR_HOST_OVERHEAD_US = 4.0
+
+
+class HectorSystem:
+    """Hector under one optimization configuration (U, C, R, or C+R)."""
+
+    def __init__(self, options: Optional[CompilerOptions] = None, name: Optional[str] = None):
+        self.options = options or CompilerOptions()
+        self.name = name or f"Hector ({self.options.label()})"
+        self._compiled: Dict[Tuple[str, int, int], CompilationResult] = {}
+
+    # ------------------------------------------------------------------
+    def compiled(self, model: str, in_dim: int, out_dim: int) -> CompilationResult:
+        """Compile (and cache) the model for the given feature dimensions."""
+        key = (model, in_dim, out_dim)
+        if key not in self._compiled:
+            program = build_program(model, in_dim=in_dim, out_dim=out_dim)
+            self._compiled[key] = compile_program(program, self.options)
+        return self._compiled[key]
+
+    def supports(self, model: str, training: bool) -> bool:
+        return model in ("rgcn", "rgat", "hgt")
+
+    # ------------------------------------------------------------------
+    def works(self, model: str, workload: WorkloadSpec, training: bool) -> List[KernelWork]:
+        """Kernel work derived from the compiled plan under a workload."""
+        plan = self.compiled(model, workload.in_dim, workload.out_dim).plan
+        kernels = plan.kernels("all" if training else "forward")
+        return [kernel_work_from_instance(kernel, workload) for kernel in kernels]
+
+    def memory_bytes(self, model: str, workload: WorkloadSpec, training: bool) -> float:
+        plan = self.compiled(model, workload.in_dim, workload.out_dim).plan
+        return plan.memory_bytes(workload, training=training)
+
+    def estimate(self, model: str, workload: WorkloadSpec, training: bool,
+                 device: DeviceSpec = RTX_3090) -> SystemEstimate:
+        """Evaluate Hector on one workload through the shared cost/memory models."""
+        mode = "training" if training else "inference"
+        memory = self.memory_bytes(model, workload, training)
+        try:
+            check_footprint(memory, device.memory_bytes, label=f"{self.name}/{model}/{workload.name}")
+        except OutOfMemoryError:
+            return SystemEstimate(self.name, model, workload.name, mode, None, memory, oom=True)
+        works = self.works(model, workload, training)
+        estimate = estimate_execution(works, device, HECTOR_HOST_OVERHEAD_US)
+        return SystemEstimate(self.name, model, workload.name, mode, estimate, memory)

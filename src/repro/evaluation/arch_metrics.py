@@ -1,0 +1,58 @@
+"""Architectural characteristics of the generated kernels (Figure 12)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.hector_system import HectorSystem
+from repro.evaluation.workload import WorkloadSpec
+from repro.frontend.config import CONFIGURATIONS
+from repro.gpu.device import DeviceSpec, RTX_3090
+from repro.gpu.profiler import aggregate_profiles, profile_kernels
+
+
+def architectural_metrics(
+    model: str = "rgat",
+    datasets: Sequence[str] = ("bgs", "am"),
+    dims: Sequence[int] = (32, 64, 128),
+    configs: Sequence[str] = ("U", "C"),
+    device: DeviceSpec = RTX_3090,
+) -> List[Dict[str, object]]:
+    """Figure 12: per-kernel-category architectural metrics.
+
+    For RGAT on bgs and am, with and without compaction, and for feature
+    dimensions 32/64/128, the rows report — separately for GEMM and traversal
+    kernels and for forward and backward propagation — the total duration and
+    the duration-weighted average achieved GFLOP/s, IPC proxy, LSU
+    utilisation, and L1/L2/DRAM throughput percentages.
+    """
+    rows: List[Dict[str, object]] = []
+    for dataset in datasets:
+        for dim in dims:
+            workload = WorkloadSpec.from_dataset(dataset, in_dim=dim, out_dim=dim)
+            for label in configs:
+                system = HectorSystem(CONFIGURATIONS[label])
+                works = system.works(model, workload, training=True)
+                profiles = profile_kernels(works, device)
+                aggregated = aggregate_profiles(profiles)
+                for group, metrics in aggregated.items():
+                    category, direction = group.split("/")
+                    if category not in ("gemm", "traversal"):
+                        continue
+                    rows.append(
+                        {
+                            "dataset": dataset,
+                            "dim": dim,
+                            "config": label,
+                            "category": category,
+                            "direction": direction,
+                            "total_duration_s": metrics["total_duration_s"],
+                            "avg_achieved_gflops": metrics["avg_achieved_gflops"],
+                            "avg_executed_ipc": metrics["avg_executed_ipc"],
+                            "avg_lsu_utilization_pct": metrics["avg_lsu_utilization_pct"],
+                            "avg_l1_throughput_pct": metrics["avg_l1_throughput_pct"],
+                            "avg_l2_throughput_pct": metrics["avg_l2_throughput_pct"],
+                            "avg_dram_throughput_pct": metrics["avg_dram_throughput_pct"],
+                        }
+                    )
+    return rows

@@ -1,0 +1,99 @@
+"""Execution-time breakdowns (Figures 3 and 9).
+
+* :func:`inference_time_breakdown` — how Graphiler and Hector spend their
+  inference time (matrix multiply vs indexing/copying vs other compute vs host
+  overhead) on HGT and RGAT over FB15k and MUTAG (Figure 3).
+* :func:`hector_kernel_breakdown` — Hector's RGAT inference time split into
+  GEMM, traversal, and other kernels under the four optimization
+  configurations on AM and FB15k (Figure 9).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.hector_system import HECTOR_HOST_OVERHEAD_US, HectorSystem
+from repro.baselines.systems import ALL_BASELINES
+from repro.evaluation.workload import WorkloadSpec
+from repro.frontend.config import CONFIGURATIONS
+from repro.gpu.costmodel import estimate_execution
+from repro.gpu.device import DeviceSpec, RTX_3090
+
+#: Category labels used by Figure 3.
+FIGURE3_CATEGORIES = ("matrix_multiply_ms", "indexing_copy_ms", "other_compute_ms", "host_overhead_ms")
+
+
+def _categorise_fig3(time_by_category: Dict[str, float]) -> Dict[str, float]:
+    seconds = {
+        "matrix_multiply_ms": time_by_category.get("gemm", 0.0),
+        "indexing_copy_ms": time_by_category.get("index_copy", 0.0),
+        "other_compute_ms": time_by_category.get("traversal", 0.0) + time_by_category.get("fallback", 0.0),
+        "host_overhead_ms": time_by_category.get("host_overhead", 0.0),
+    }
+    return {key: value * 1e3 for key, value in seconds.items()}
+
+
+def inference_time_breakdown(
+    models: Sequence[str] = ("hgt", "rgat"),
+    datasets: Sequence[str] = ("fb15k", "mutag"),
+    in_dim: int = 64,
+    out_dim: int = 64,
+    device: DeviceSpec = RTX_3090,
+) -> List[Dict[str, object]]:
+    """Figure 3: Graphiler vs Hector inference-time breakdown."""
+    graphiler = ALL_BASELINES["Graphiler"]
+    hector = HectorSystem(CONFIGURATIONS["U"])
+    rows: List[Dict[str, object]] = []
+    for model in models:
+        for dataset in datasets:
+            workload = WorkloadSpec.from_dataset(dataset, in_dim=in_dim, out_dim=out_dim)
+            graphiler_estimate = estimate_execution(
+                graphiler.works(model, workload, training=False), device,
+                graphiler.config.host_overhead_us,
+            )
+            hector_estimate = estimate_execution(
+                hector.works(model, workload, training=False), device, HECTOR_HOST_OVERHEAD_US,
+            )
+            for system_name, estimate in (("Graphiler", graphiler_estimate), ("Hector", hector_estimate)):
+                row: Dict[str, object] = {"model": model.upper(), "dataset": dataset, "system": system_name}
+                row.update(_categorise_fig3(estimate.time_by_category()))
+                row["total_ms"] = estimate.total_time_ms
+                rows.append(row)
+    return rows
+
+
+def hector_kernel_breakdown(
+    model: str = "rgat",
+    datasets: Sequence[str] = ("am", "fb15k"),
+    configs: Sequence[str] = ("U", "C", "R", "C+R"),
+    training: bool = False,
+    in_dim: int = 64,
+    out_dim: int = 64,
+    device: DeviceSpec = RTX_3090,
+) -> List[Dict[str, object]]:
+    """Figure 9: Hector kernel-category breakdown per optimization configuration."""
+    rows: List[Dict[str, object]] = []
+    for dataset in datasets:
+        workload = WorkloadSpec.from_dataset(dataset, in_dim=in_dim, out_dim=out_dim)
+        for label in configs:
+            system = HectorSystem(CONFIGURATIONS[label])
+            estimate = system.estimate(model, workload, training, device)
+            if estimate.oom or estimate.estimate is None:
+                rows.append({
+                    "dataset": dataset, "config": label, "gemm_ms": None,
+                    "traversal_ms": None, "others_ms": None, "total_ms": None, "status": "OOM",
+                })
+                continue
+            by_category = estimate.estimate.time_by_category()
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "config": label,
+                    "gemm_ms": by_category.get("gemm", 0.0) * 1e3,
+                    "traversal_ms": by_category.get("traversal", 0.0) * 1e3,
+                    "others_ms": (by_category.get("fallback", 0.0) + by_category.get("host_overhead", 0.0)) * 1e3,
+                    "total_ms": estimate.estimate.total_time_ms,
+                    "status": "ok",
+                }
+            )
+    return rows

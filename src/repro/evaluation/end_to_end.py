@@ -1,0 +1,132 @@
+"""End-to-end comparison of Hector with the baseline systems (Figure 8).
+
+For every (dataset, model, system) cell the harness builds the full-scale
+workload from Table 3's statistics, asks the system for its kernel plan and
+memory footprint, and prices both with the shared GPU cost and memory models.
+The output rows carry execution-time estimates, OOM flags, and unsupported
+markers — exactly the information plotted in Figure 8(a)/(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.base import SystemEstimate
+from repro.baselines.hector_system import HectorSystem
+from repro.baselines.systems import ALL_BASELINES
+from repro.evaluation.reporting import speedup
+from repro.evaluation.workload import WorkloadSpec
+from repro.frontend.config import CONFIGURATIONS, CompilerOptions
+from repro.gpu.device import DeviceSpec, RTX_3090
+from repro.graph.datasets import dataset_names
+from repro.models import MODEL_NAMES
+
+#: Systems measured in the inference comparison of Figure 8(b).
+INFERENCE_SYSTEMS = ["DGL", "PyG", "Seastar", "Graphiler"]
+#: Systems measured in the training comparison of Figure 8(a).
+TRAINING_SYSTEMS = ["DGL", "PyG", "Seastar", "HGL"]
+
+
+@dataclass
+class EndToEndResult:
+    """All system estimates for one (model, dataset, mode) cell."""
+
+    model: str
+    dataset: str
+    mode: str
+    estimates: Dict[str, SystemEstimate] = field(default_factory=dict)
+
+    def best_baseline_time(self) -> Optional[float]:
+        """Fastest non-OOM, supported baseline time (the paper's comparison point)."""
+        times = [
+            est.time_ms
+            for name, est in self.estimates.items()
+            if not name.startswith("Hector") and est.time_ms is not None
+        ]
+        return min(times) if times else None
+
+    def hector_time(self, label: str = "best") -> Optional[float]:
+        """Hector's time: a specific configuration label or the best of all present."""
+        if label == "best":
+            times = [
+                est.time_ms for name, est in self.estimates.items()
+                if name.startswith("Hector") and est.time_ms is not None
+            ]
+            return min(times) if times else None
+        return self.estimates.get(f"Hector ({label})", SystemEstimate("", "", "", "", None, 0.0)).time_ms
+
+    def hector_speedup(self, label: str = "best") -> Optional[float]:
+        return speedup(self.best_baseline_time(), self.hector_time(label))
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        rows = []
+        for name, est in self.estimates.items():
+            rows.append(
+                {
+                    "model": self.model,
+                    "dataset": self.dataset,
+                    "mode": self.mode,
+                    "system": name,
+                    "time_ms": est.time_ms,
+                    "status": est.status(),
+                    "memory_gib": est.memory_bytes / 2**30 if est.memory_bytes else None,
+                }
+            )
+        return rows
+
+
+def run_end_to_end(
+    model: str,
+    dataset: str,
+    training: bool,
+    hector_configs: Sequence[str] = ("U", "C+R"),
+    in_dim: int = 64,
+    out_dim: int = 64,
+    device: DeviceSpec = RTX_3090,
+    baseline_names: Optional[Sequence[str]] = None,
+) -> EndToEndResult:
+    """Evaluate every system on one (model, dataset, mode) cell."""
+    workload = WorkloadSpec.from_dataset(dataset, in_dim=in_dim, out_dim=out_dim)
+    mode = "training" if training else "inference"
+    result = EndToEndResult(model=model, dataset=dataset, mode=mode)
+    names = list(baseline_names) if baseline_names is not None else (
+        TRAINING_SYSTEMS if training else INFERENCE_SYSTEMS
+    )
+    for name in names:
+        system = ALL_BASELINES[name]
+        result.estimates[name] = system.estimate(model, workload, training, device)
+    for label in hector_configs:
+        hector = HectorSystem(CONFIGURATIONS[label])
+        result.estimates[hector.name] = hector.estimate(model, workload, training, device)
+    return result
+
+
+def run_full_comparison(
+    models: Sequence[str] = tuple(MODEL_NAMES),
+    datasets: Optional[Sequence[str]] = None,
+    modes: Sequence[str] = ("inference", "training"),
+    hector_configs: Sequence[str] = ("U", "C+R"),
+    in_dim: int = 64,
+    out_dim: int = 64,
+    device: DeviceSpec = RTX_3090,
+) -> List[EndToEndResult]:
+    """The full Figure 8 sweep: every model × dataset × mode."""
+    datasets = list(datasets) if datasets is not None else dataset_names()
+    results: List[EndToEndResult] = []
+    for mode in modes:
+        training = mode == "training"
+        for model in models:
+            for dataset in datasets:
+                results.append(
+                    run_end_to_end(
+                        model,
+                        dataset,
+                        training,
+                        hector_configs=hector_configs,
+                        in_dim=in_dim,
+                        out_dim=out_dim,
+                        device=device,
+                    )
+                )
+    return results

@@ -1,0 +1,61 @@
+"""Plain-text table formatting for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]], columns: Optional[Sequence[str]] = None,
+                 title: Optional[str] = None, float_format: str = "{:.3g}") -> str:
+    """Render a list of dict rows as an aligned plain-text table.
+
+    Args:
+        rows: the table rows.
+        columns: column order; defaults to the keys of the first row.
+        title: optional title line printed above the table.
+        float_format: format applied to float cells.
+    """
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(column)) for column in columns] for row in rows]
+    widths = [max(len(str(column)), max(len(r[i]) for r in rendered)) for i, column in enumerate(columns)]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (returns 0.0 for an empty input)."""
+    values = [v for v in values if v is not None]
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError("geometric mean requires positive values")
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def speedup(baseline_time: Optional[float], new_time: Optional[float]) -> Optional[float]:
+    """Speed-up of ``new`` over ``baseline`` (None if either is missing)."""
+    if baseline_time is None or new_time is None or new_time <= 0:
+        return None
+    return baseline_time / new_time

@@ -1,0 +1,60 @@
+"""Speed-up summary of Hector against the best baseline (Table 4)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.evaluation.end_to_end import EndToEndResult, run_full_comparison
+from repro.evaluation.reporting import geometric_mean
+from repro.graph.datasets import dataset_names
+from repro.models import MODEL_NAMES
+
+
+def speedup_summary(
+    results: Optional[Sequence[EndToEndResult]] = None,
+    hector_labels: Sequence[str] = ("U", "C+R"),
+    datasets: Optional[Sequence[str]] = None,
+) -> List[Dict[str, object]]:
+    """Worst/average/best speed-ups of Hector vs the best baseline, per model and mode.
+
+    Mirrors Table 4: the ``unopt.`` rows use the unoptimised configuration
+    (``U``); the ``b. opt.`` rows use the best configuration available per
+    cell (here ``C+R``); ``num_oom`` counts the datasets on which that Hector
+    configuration itself runs out of memory.
+    """
+    if results is None:
+        results = run_full_comparison(
+            hector_configs=tuple(sorted(set(hector_labels))),
+            datasets=datasets,
+        )
+    rows: List[Dict[str, object]] = []
+    for label, row_name in (("U", "unopt."), ("C+R", "b. opt.")):
+        if label not in hector_labels:
+            continue
+        for mode in ("training", "inference"):
+            for model in MODEL_NAMES:
+                cells = [r for r in results if r.model == model and r.mode == mode]
+                speedups = []
+                oom_count = 0
+                for cell in cells:
+                    hector_estimate = cell.estimates.get(f"Hector ({label})")
+                    if hector_estimate is not None and hector_estimate.oom:
+                        oom_count += 1
+                    ratio = cell.hector_speedup(label)
+                    if ratio is not None:
+                        speedups.append(ratio)
+                if not speedups:
+                    continue
+                rows.append(
+                    {
+                        "config": row_name,
+                        "mode": mode,
+                        "model": model.upper(),
+                        "worst": min(speedups),
+                        "average": geometric_mean(speedups),
+                        "best": max(speedups),
+                        "num_oom": oom_count,
+                        "num_datasets": len(cells),
+                    }
+                )
+    return rows

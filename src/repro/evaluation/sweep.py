@@ -1,0 +1,77 @@
+"""Feature-dimension sweep of unoptimised Hector (Figure 11)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.hector_system import HectorSystem
+from repro.evaluation.workload import WorkloadSpec
+from repro.frontend.config import CONFIGURATIONS
+from repro.gpu.device import DeviceSpec, RTX_3090
+from repro.graph.datasets import dataset_names
+from repro.models import MODEL_NAMES
+
+#: The (input dimension, output dimension) points of Figure 11.
+DIMENSION_POINTS: Tuple[Tuple[int, int], ...] = ((32, 32), (64, 64), (128, 128))
+
+
+def dimension_sweep(
+    models: Sequence[str] = tuple(MODEL_NAMES),
+    datasets: Optional[Sequence[str]] = None,
+    dimension_points: Sequence[Tuple[int, int]] = DIMENSION_POINTS,
+    modes: Sequence[str] = ("inference", "training"),
+    device: DeviceSpec = RTX_3090,
+) -> List[Dict[str, object]]:
+    """Figure 11: unoptimised Hector time per dataset × model × dimension.
+
+    Vacant cells (``None`` time with ``OOM`` status) indicate out-of-memory,
+    exactly as the empty cells of the paper's figure do.  The sub-linear time
+    growth as dimensions double — the paper's headline observation from this
+    figure — comes out of the occupancy-dependent efficiency of the cost
+    model: larger GEMMs run closer to peak.
+    """
+    datasets = list(datasets) if datasets is not None else dataset_names()
+    hector = HectorSystem(CONFIGURATIONS["U"])
+    rows: List[Dict[str, object]] = []
+    for model in models:
+        for dataset in datasets:
+            for in_dim, out_dim in dimension_points:
+                workload = WorkloadSpec.from_dataset(dataset, in_dim=in_dim, out_dim=out_dim)
+                for mode in modes:
+                    training = mode == "training"
+                    estimate = hector.estimate(model, workload, training, device)
+                    rows.append(
+                        {
+                            "model": model.upper(),
+                            "dataset": dataset,
+                            "in_dim": in_dim,
+                            "out_dim": out_dim,
+                            "mode": mode,
+                            "time_ms": estimate.time_ms,
+                            "status": estimate.status(),
+                        }
+                    )
+    return rows
+
+
+def sublinearity_ratios(rows: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Time growth when dimensions double (should be < 4×, typically < 2×)."""
+    ratios: List[Dict[str, object]] = []
+    indexed = {
+        (row["model"], row["dataset"], row["mode"], row["in_dim"]): row["time_ms"] for row in rows
+    }
+    for (model, dataset, mode, in_dim), time_ms in indexed.items():
+        doubled = indexed.get((model, dataset, mode, in_dim * 2))
+        if time_ms is None or doubled is None:
+            continue
+        ratios.append(
+            {
+                "model": model,
+                "dataset": dataset,
+                "mode": mode,
+                "from_dim": in_dim,
+                "to_dim": in_dim * 2,
+                "time_ratio": doubled / time_ms,
+            }
+        )
+    return ratios

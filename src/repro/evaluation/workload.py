@@ -1,0 +1,120 @@
+"""Workload specifications: the sizes every cost estimate is evaluated against.
+
+A workload captures everything about (dataset × feature dimensions) that the
+kernel cost and memory models need: node/edge counts, type counts, the number
+of unique ``(source node, edge type)`` pairs (compact materialization), and
+the per-relation edge-count distribution (per-relation-loop baselines launch
+one kernel per relation, so the skew matters).
+
+Workloads can be built from the full-scale dataset statistics of Table 3 (the
+paper's actual sizes — used for every comparative figure) or from a concrete
+:class:`repro.graph.HeteroGraph` (used when numerically executing the scaled
+synthetic instantiations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.datasets import DatasetStats, get_dataset_stats
+from repro.graph.hetero_graph import HeteroGraph
+
+
+@dataclass
+class WorkloadSpec:
+    """Sizes of one evaluation workload."""
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    num_node_types: int
+    num_edge_types: int
+    num_unique_pairs: int
+    in_dim: int = 64
+    out_dim: int = 64
+    relation_edge_counts: Optional[np.ndarray] = None
+    node_type_counts: Optional[np.ndarray] = None
+
+    def __post_init__(self):
+        if self.relation_edge_counts is None:
+            base = self.num_edges // max(self.num_edge_types, 1)
+            counts = np.full(self.num_edge_types, base, dtype=np.int64)
+            counts[: self.num_edges - base * self.num_edge_types] += 1
+            self.relation_edge_counts = counts
+        else:
+            self.relation_edge_counts = np.asarray(self.relation_edge_counts, dtype=np.int64)
+        if self.node_type_counts is None:
+            base = self.num_nodes // max(self.num_node_types, 1)
+            counts = np.full(self.num_node_types, base, dtype=np.int64)
+            counts[: self.num_nodes - base * self.num_node_types] += 1
+            self.node_type_counts = counts
+        else:
+            self.node_type_counts = np.asarray(self.node_type_counts, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    @property
+    def average_degree(self) -> float:
+        return self.num_edges / max(self.num_nodes, 1)
+
+    @property
+    def compaction_ratio(self) -> float:
+        """Entity compaction ratio (unique pairs / edges)."""
+        return self.num_unique_pairs / max(self.num_edges, 1)
+
+    def with_dims(self, in_dim: int, out_dim: int) -> "WorkloadSpec":
+        """A copy of this workload with different feature dimensions."""
+        return WorkloadSpec(
+            name=self.name,
+            num_nodes=self.num_nodes,
+            num_edges=self.num_edges,
+            num_node_types=self.num_node_types,
+            num_edge_types=self.num_edge_types,
+            num_unique_pairs=self.num_unique_pairs,
+            in_dim=in_dim,
+            out_dim=out_dim,
+            relation_edge_counts=self.relation_edge_counts,
+            node_type_counts=self.node_type_counts,
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dataset(cls, name: str, in_dim: int = 64, out_dim: int = 64) -> "WorkloadSpec":
+        """Full-scale workload from a Table 3 dataset's published statistics."""
+        stats = get_dataset_stats(name)
+        return cls.from_stats(stats, in_dim=in_dim, out_dim=out_dim)
+
+    @classmethod
+    def from_stats(cls, stats: DatasetStats, in_dim: int = 64, out_dim: int = 64) -> "WorkloadSpec":
+        return cls(
+            name=stats.name,
+            num_nodes=stats.num_nodes,
+            num_edges=stats.num_edges,
+            num_node_types=stats.num_node_types,
+            num_edge_types=stats.num_edge_types,
+            num_unique_pairs=stats.num_unique_src_etype_pairs,
+            in_dim=in_dim,
+            out_dim=out_dim,
+            relation_edge_counts=stats.relation_edge_counts(),
+            node_type_counts=stats.node_type_counts(),
+        )
+
+    @classmethod
+    def from_graph(cls, graph: HeteroGraph, in_dim: int = 64, out_dim: int = 64) -> "WorkloadSpec":
+        """Workload describing a concrete (scaled) graph instantiation."""
+        return cls(
+            name=graph.name,
+            num_nodes=graph.num_nodes,
+            num_edges=graph.num_edges,
+            num_node_types=graph.num_node_types,
+            num_edge_types=graph.num_edge_types,
+            num_unique_pairs=graph.compaction.num_unique,
+            in_dim=in_dim,
+            out_dim=out_dim,
+            relation_edge_counts=graph.relation_edge_counts(),
+            node_type_counts=np.array(
+                [graph.num_nodes_per_type[n] for n in graph.node_type_names], dtype=np.int64
+            ),
+        )

@@ -1,0 +1,17 @@
+"""Hector programming interface: compiler options, compile entry points, decorator."""
+
+from repro.frontend.config import CompilerOptions
+from repro.frontend.compiler import (
+    CompilationResult,
+    compile_model,
+    compile_program,
+    hector_compile,
+)
+
+__all__ = [
+    "CompilerOptions",
+    "CompilationResult",
+    "compile_program",
+    "compile_model",
+    "hector_compile",
+]

@@ -1,0 +1,78 @@
+"""Compiler configuration.
+
+The optimization switches correspond to the configurations evaluated in the
+paper: unoptimised (``U``), compact materialization (``C``), linear operator
+reordering (``R``), and both (``C+R``) — Table 5 and Figure 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.ir.intra_op.schedule import GemmSchedule, TraversalSchedule
+
+
+@dataclass
+class CompilerOptions:
+    """Options controlling the pass pipeline, schedules, and lowering.
+
+    Attributes:
+        compact_materialization: enable the compact materialization pass.
+        linear_operator_reordering: enable the reordering pass.
+        enable_fusion: fuse adjacent traversal operators into one kernel.
+        emit_backward: also generate backward (training) kernels.
+        gemm_tile_size: shared-memory tile width of GEMM instances.
+        gemm_coarsening: thread coarsening factor of GEMM instances (1, 2, 4).
+        gemm_launch_bounds: optional ``__launch_bounds__`` register cap.
+        traversal_rows_per_block: traversal work assignment.
+        traversal_partial_aggregation: accumulate partial results before atomics.
+    """
+
+    compact_materialization: bool = False
+    linear_operator_reordering: bool = False
+    enable_fusion: bool = True
+    emit_backward: bool = True
+    gemm_tile_size: int = 16
+    gemm_coarsening: int = 1
+    gemm_launch_bounds: Optional[int] = None
+    traversal_rows_per_block: int = 128
+    traversal_partial_aggregation: bool = True
+
+    def gemm_schedule(self) -> GemmSchedule:
+        """Schedule applied to every GEMM-template instance."""
+        return GemmSchedule(
+            tile_size=self.gemm_tile_size,
+            coarsening=self.gemm_coarsening,
+            launch_bounds=self.gemm_launch_bounds,
+        )
+
+    def traversal_schedule(self) -> TraversalSchedule:
+        """Schedule applied to every traversal-template instance."""
+        return TraversalSchedule(
+            rows_per_block=self.traversal_rows_per_block,
+            partial_aggregation=self.traversal_partial_aggregation,
+        )
+
+    def label(self) -> str:
+        """Short configuration label used in tables (U, C, R, C+R)."""
+        if self.compact_materialization and self.linear_operator_reordering:
+            return "C+R"
+        if self.compact_materialization:
+            return "C"
+        if self.linear_operator_reordering:
+            return "R"
+        return "U"
+
+    def with_(self, **overrides) -> "CompilerOptions":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **overrides)
+
+
+#: The four optimization configurations studied in Table 5 / Figure 9.
+CONFIGURATIONS = {
+    "U": CompilerOptions(),
+    "C": CompilerOptions(compact_materialization=True),
+    "R": CompilerOptions(linear_operator_reordering=True),
+    "C+R": CompilerOptions(compact_materialization=True, linear_operator_reordering=True),
+}

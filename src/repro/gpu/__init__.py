@@ -1,0 +1,33 @@
+"""Analytical GPU model.
+
+Substitutes for the RTX 3090 testbed of the paper: a device description, a
+roofline-plus-launch-overhead kernel cost model, and a profiler that derives
+the architectural metrics of Figure 12 (achieved GFLOPs, IPC proxy, DRAM
+throughput) from kernel specifications.  See DESIGN.md for why this
+substitution preserves the comparative results.
+"""
+
+from repro.gpu.device import DeviceSpec, RTX_3090, A100_40GB
+from repro.gpu.costmodel import (
+    ExecutionEstimate,
+    KernelWork,
+    estimate_execution,
+    estimate_kernel_time,
+    kernel_work_from_instance,
+    plan_execution_estimate,
+)
+from repro.gpu.profiler import KernelProfile, profile_kernels
+
+__all__ = [
+    "DeviceSpec",
+    "RTX_3090",
+    "A100_40GB",
+    "KernelWork",
+    "ExecutionEstimate",
+    "estimate_kernel_time",
+    "estimate_execution",
+    "kernel_work_from_instance",
+    "plan_execution_estimate",
+    "KernelProfile",
+    "profile_kernels",
+]

@@ -1,0 +1,71 @@
+"""GPU device descriptions used by the cost model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Parameters of the modelled GPU.
+
+    Attributes:
+        name: marketing name.
+        sm_count: number of streaming multiprocessors.
+        peak_fp32_tflops: single-precision peak throughput (TFLOP/s).
+        dram_bandwidth_gbps: DRAM bandwidth (GB/s).
+        memory_bytes: device memory capacity (bytes).
+        kernel_launch_overhead_us: CPU/driver latency per kernel launch.
+        framework_op_overhead_us: extra host latency per framework operator
+            call in eager frameworks (PyTorch dispatch, shape checks, …).
+        atomic_penalty: multiplicative slowdown applied to kernels dominated
+            by atomic updates (backward traversal, scattered accumulation).
+        outer_product_penalty: multiplicative slowdown of per-type
+            outer-product (weight gradient) kernels.
+        min_reuse_for_peak: arithmetic intensity (FLOP/byte) needed to not be
+            memory-bound; the paper quotes ≈16 floats of reuse for H100-class
+            parts, similar for the 3090.
+        schedulers_per_sm: warp schedulers per SM (ideal IPC in Figure 12).
+    """
+
+    name: str
+    sm_count: int
+    peak_fp32_tflops: float
+    dram_bandwidth_gbps: float
+    memory_bytes: float
+    kernel_launch_overhead_us: float = 6.0
+    framework_op_overhead_us: float = 30.0
+    atomic_penalty: float = 2.2
+    outer_product_penalty: float = 1.6
+    min_reuse_for_peak: float = 16.0
+    schedulers_per_sm: int = 4
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak FP32 throughput in FLOP/s."""
+        return self.peak_fp32_tflops * 1e12
+
+    @property
+    def dram_bandwidth(self) -> float:
+        """DRAM bandwidth in bytes/s."""
+        return self.dram_bandwidth_gbps * 1e9
+
+
+#: The GPU used throughout the paper's evaluation (24 GB).
+RTX_3090 = DeviceSpec(
+    name="NVIDIA GeForce RTX 3090",
+    sm_count=82,
+    peak_fp32_tflops=35.6,
+    dram_bandwidth_gbps=936.0,
+    memory_bytes=24 * 2**30,
+)
+
+#: A second device for what-if studies (Section 6 discusses per-architecture tuning).
+A100_40GB = DeviceSpec(
+    name="NVIDIA A100 40GB",
+    sm_count=108,
+    peak_fp32_tflops=19.5,
+    dram_bandwidth_gbps=1555.0,
+    memory_bytes=40 * 2**30,
+    kernel_launch_overhead_us=5.0,
+)

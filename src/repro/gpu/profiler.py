@@ -1,0 +1,121 @@
+"""Architectural metrics derived from kernel work records (Figure 12).
+
+The paper profiles the generated kernels with Nsight Compute and reports, per
+kernel category and propagation direction, the achieved GFLOP/s, executed
+instructions per cycle (IPC), load-store-unit utilisation, and L1/L2/DRAM
+throughputs.  The analytical profiler reproduces the same report from the cost
+model: achieved GFLOP/s follows directly from the time estimate; the IPC proxy
+scales with how close the kernel is to being latency-bound (atomics and low
+occupancy depress it); DRAM throughput is the modelled traffic over the
+modelled time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from repro.gpu.costmodel import KernelTime, KernelWork, estimate_kernel_time
+from repro.gpu.device import DeviceSpec, RTX_3090
+
+
+@dataclass
+class KernelProfile:
+    """Per-kernel architectural metrics (Figure 12 rows)."""
+
+    name: str
+    category: str
+    direction: str
+    duration_s: float
+    achieved_gflops: float
+    executed_ipc: float
+    lsu_utilization_pct: float
+    l1_throughput_pct: float
+    l2_throughput_pct: float
+    dram_throughput_pct: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "name": self.name,
+            "category": self.category,
+            "direction": self.direction,
+            "duration_s": self.duration_s,
+            "achieved_gflops": self.achieved_gflops,
+            "executed_ipc": self.executed_ipc,
+            "lsu_utilization_pct": self.lsu_utilization_pct,
+            "l1_throughput_pct": self.l1_throughput_pct,
+            "l2_throughput_pct": self.l2_throughput_pct,
+            "dram_throughput_pct": self.dram_throughput_pct,
+        }
+
+
+def profile_kernel(work: KernelWork, device: DeviceSpec = RTX_3090) -> KernelProfile:
+    """Derive architectural metrics for one kernel-work record."""
+    timing = estimate_kernel_time(work, device)
+    duration = max(timing.total_time, 1e-9)
+    achieved_gflops = work.flops / duration / 1e9
+    dram_throughput_pct = min(100.0, 100.0 * (work.bytes_total / duration) / device.dram_bandwidth)
+
+    # IPC proxy: ideal is one instruction per scheduler per cycle (4 per SM).
+    # Latency-bound kernels (atomics, launch-dominated, low occupancy) issue
+    # far fewer instructions per cycle.
+    utilization = max(timing.compute_time, timing.memory_time) / duration
+    ipc = device.schedulers_per_sm * utilization
+    if work.uses_atomics:
+        ipc *= 0.45
+    if work.category != "gemm":
+        ipc *= 0.75
+    ipc = max(0.05, min(float(device.schedulers_per_sm), ipc))
+
+    # Load/store unit usage tracks how memory-heavy the kernel is.
+    memory_share = timing.memory_time / max(timing.compute_time + timing.memory_time, 1e-12)
+    lsu = 100.0 * min(1.0, 0.15 + 0.75 * memory_share)
+    l1 = min(100.0, dram_throughput_pct * 1.6 + (10.0 if work.category == "gemm" else 4.0))
+    l2 = min(100.0, dram_throughput_pct * 1.25 + 3.0)
+    return KernelProfile(
+        name=work.name,
+        category=work.category,
+        direction=work.direction,
+        duration_s=duration,
+        achieved_gflops=achieved_gflops,
+        executed_ipc=ipc,
+        lsu_utilization_pct=lsu,
+        l1_throughput_pct=l1,
+        l2_throughput_pct=l2,
+        dram_throughput_pct=dram_throughput_pct,
+    )
+
+
+def profile_kernels(works: Sequence[KernelWork], device: DeviceSpec = RTX_3090) -> List[KernelProfile]:
+    """Profile a sequence of kernel-work records."""
+    return [profile_kernel(work, device) for work in works]
+
+
+def aggregate_profiles(profiles: Sequence[KernelProfile]) -> Dict[str, Dict[str, float]]:
+    """Aggregate profiles by (category, direction), as in Figure 12.
+
+    Returns a mapping ``"{category}/{direction}"`` → metrics, with the total
+    duration summed and the remaining metrics duration-weighted averages.
+    """
+    groups: Dict[str, List[KernelProfile]] = {}
+    for profile in profiles:
+        groups.setdefault(f"{profile.category}/{profile.direction}", []).append(profile)
+    result: Dict[str, Dict[str, float]] = {}
+    for key, members in groups.items():
+        total_duration = sum(p.duration_s for p in members)
+        weights = [p.duration_s / total_duration if total_duration else 1.0 / len(members) for p in members]
+
+        def weighted(attr: str) -> float:
+            return float(sum(getattr(p, attr) * w for p, w in zip(members, weights)))
+
+        result[key] = {
+            "total_duration_s": total_duration,
+            "avg_achieved_gflops": weighted("achieved_gflops"),
+            "avg_executed_ipc": weighted("executed_ipc"),
+            "avg_lsu_utilization_pct": weighted("lsu_utilization_pct"),
+            "avg_l1_throughput_pct": weighted("l1_throughput_pct"),
+            "avg_l2_throughput_pct": weighted("l2_throughput_pct"),
+            "avg_dram_throughput_pct": weighted("dram_throughput_pct"),
+            "num_kernels": float(len(members)),
+        }
+    return result

@@ -1,0 +1,42 @@
+"""Heterogeneous graph substrate.
+
+Provides the data structures the Hector compiler and the baseline system
+simulators operate on:
+
+* :class:`repro.graph.hetero_graph.HeteroGraph` — typed nodes and edges with a
+  flattened (homogenised) view, per-relation COO, CSR by destination, and
+  edges presorted by edge type (segment pointers) as required for segment MM.
+* :mod:`repro.graph.adjacency` — COO / CSR / segment encodings and the
+  accessor descriptions the traversal template specialises against.
+* :mod:`repro.graph.compaction` — the unique ``(source node, edge type)``
+  mapping behind compact materialization (Section 3.2.2).
+* :mod:`repro.graph.datasets` — the eight heterogeneous datasets of Table 3 as
+  full-scale statistics plus scaled synthetic instantiations.
+"""
+
+from repro.graph.hetero_graph import HeteroGraph
+from repro.graph.adjacency import COOAdjacency, CSRAdjacency, SegmentPointers
+from repro.graph.compaction import CompactionIndex, build_compaction_index
+from repro.graph.datasets import (
+    DATASETS,
+    DatasetStats,
+    dataset_names,
+    get_dataset_stats,
+    load_dataset,
+)
+from repro.graph.generators import random_hetero_graph
+
+__all__ = [
+    "HeteroGraph",
+    "COOAdjacency",
+    "CSRAdjacency",
+    "SegmentPointers",
+    "CompactionIndex",
+    "build_compaction_index",
+    "DATASETS",
+    "DatasetStats",
+    "dataset_names",
+    "get_dataset_stats",
+    "load_dataset",
+    "random_hetero_graph",
+]

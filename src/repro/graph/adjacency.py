@@ -1,0 +1,186 @@
+"""Sparse adjacency encodings used by the intra-operator templates.
+
+The Hector traversal template is agnostic to the sparse format as long as the
+``GetEType`` / ``GetSrcId`` / ``GetDstId`` accessors are available
+(Section 3.3.2).  This module provides the encodings the reproduction
+supports — COO, CSR (by destination), and segment pointers for edges sorted
+by type — together with a small description object
+(:class:`AdjacencyAccessor`) that records which accessor the code generator
+should specialise for and what its per-lookup cost is (a subscript for COO, a
+binary search for CSR).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class COOAdjacency:
+    """Coordinate-format adjacency: parallel ``src`` / ``dst`` / ``etype`` arrays."""
+
+    src: np.ndarray
+    dst: np.ndarray
+    etype: np.ndarray
+
+    def __post_init__(self):
+        self.src = np.asarray(self.src, dtype=np.int64)
+        self.dst = np.asarray(self.dst, dtype=np.int64)
+        self.etype = np.asarray(self.etype, dtype=np.int64)
+        if not (len(self.src) == len(self.dst) == len(self.etype)):
+            raise ValueError("COO arrays must have equal length")
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.src)
+
+    def get_src(self, edge_idx: int) -> int:
+        """COO source lookup: a single subscript."""
+        return int(self.src[edge_idx])
+
+    def get_dst(self, edge_idx: int) -> int:
+        """COO destination lookup: a single subscript."""
+        return int(self.dst[edge_idx])
+
+    def get_etype(self, edge_idx: int) -> int:
+        """COO edge-type lookup: a single subscript."""
+        return int(self.etype[edge_idx])
+
+
+@dataclass
+class CSRAdjacency:
+    """Compressed sparse row adjacency grouped by destination node.
+
+    ``indptr`` has length ``num_dst_nodes + 1``; ``edge_ids[indptr[v]:indptr[v+1]]``
+    are the incoming edge indices of destination node ``v``.  ``src`` and
+    ``etype`` are indexed by edge id (same order as the owning graph's COO).
+    """
+
+    indptr: np.ndarray
+    edge_ids: np.ndarray
+    src: np.ndarray
+    etype: np.ndarray
+
+    def __post_init__(self):
+        self.indptr = np.asarray(self.indptr, dtype=np.int64)
+        self.edge_ids = np.asarray(self.edge_ids, dtype=np.int64)
+        self.src = np.asarray(self.src, dtype=np.int64)
+        self.etype = np.asarray(self.etype, dtype=np.int64)
+
+    @property
+    def num_dst_nodes(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edge_ids)
+
+    def incoming_edges(self, dst_node: int) -> np.ndarray:
+        """Edge ids of the incoming edges of ``dst_node``."""
+        return self.edge_ids[self.indptr[dst_node]: self.indptr[dst_node + 1]]
+
+    def get_dst(self, edge_position: int) -> int:
+        """CSR destination lookup: binary search in the row-pointer array."""
+        return int(np.searchsorted(self.indptr, edge_position, side="right") - 1)
+
+
+@dataclass
+class SegmentPointers:
+    """Offsets delimiting contiguous segments of rows that share a type.
+
+    ``offsets`` has length ``num_types + 1``; ``permutation`` maps the sorted
+    position back to the original row index (``permutation[i]`` is the original
+    index of the ``i``-th sorted row).  This is the ``etype_ptr`` structure the
+    paper's segment-MM lowering relies on (Figure 5).
+    """
+
+    offsets: np.ndarray
+    permutation: np.ndarray
+
+    def __post_init__(self):
+        self.offsets = np.asarray(self.offsets, dtype=np.int64)
+        self.permutation = np.asarray(self.permutation, dtype=np.int64)
+
+    @property
+    def num_types(self) -> int:
+        return len(self.offsets) - 1
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.permutation)
+
+    def segment(self, type_idx: int) -> Tuple[int, int]:
+        """Return the ``(start, end)`` range of rows of ``type_idx``."""
+        return int(self.offsets[type_idx]), int(self.offsets[type_idx + 1])
+
+    def segment_size(self, type_idx: int) -> int:
+        start, end = self.segment(type_idx)
+        return end - start
+
+    def inverse_permutation(self) -> np.ndarray:
+        """Mapping from original row index to its sorted position."""
+        inverse = np.empty_like(self.permutation)
+        inverse[self.permutation] = np.arange(len(self.permutation))
+        return inverse
+
+
+def build_segment_pointers(type_ids: np.ndarray, num_types: int) -> SegmentPointers:
+    """Sort rows by type (stable) and return segment pointers.
+
+    Args:
+        type_ids: per-row integer type.
+        num_types: number of distinct types (defines the offsets length).
+    """
+    type_ids = np.asarray(type_ids, dtype=np.int64)
+    permutation = np.argsort(type_ids, kind="stable")
+    counts = np.bincount(type_ids, minlength=num_types)
+    offsets = np.zeros(num_types + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return SegmentPointers(offsets=offsets, permutation=permutation)
+
+
+def build_csr_by_dst(src: np.ndarray, dst: np.ndarray, etype: np.ndarray, num_nodes: int) -> CSRAdjacency:
+    """Group edges by destination node into a CSR structure."""
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    etype = np.asarray(etype, dtype=np.int64)
+    order = np.argsort(dst, kind="stable")
+    counts = np.bincount(dst, minlength=num_nodes)
+    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRAdjacency(indptr=indptr, edge_ids=order, src=src, etype=etype)
+
+
+#: Sparse formats the traversal template can specialise its accessors against.
+SUPPORTED_FORMATS = ("coo", "csr")
+
+
+@dataclass
+class AdjacencyAccessor:
+    """Description of how generated kernels retrieve graph structure.
+
+    Attributes:
+        fmt: ``"coo"`` or ``"csr"``.
+        lookups_per_edge: number of memory reads to resolve (src, dst, etype)
+            for one edge.  A COO lookup is one subscript per field; a CSR
+            destination lookup costs ``log2(num_nodes)`` reads (binary search),
+            which the GPU cost model charges accordingly.
+    """
+
+    fmt: str
+    lookups_per_edge: float
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def for_format(cls, fmt: str, num_nodes: int) -> "AdjacencyAccessor":
+        if fmt not in SUPPORTED_FORMATS:
+            raise ValueError(f"unsupported adjacency format: {fmt!r}")
+        if fmt == "coo":
+            return cls(fmt="coo", lookups_per_edge=3.0)
+        binary_search_cost = max(1.0, math.log2(max(num_nodes, 2)))
+        return cls(fmt="csr", lookups_per_edge=2.0 + binary_search_cost,
+                   extra={"binary_search_depth": binary_search_cost})

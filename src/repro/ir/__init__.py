@@ -1,0 +1,17 @@
+"""Hector's two-level intermediate representation and code generator.
+
+* :mod:`repro.ir.inter_op` — the inter-operator level IR: model semantics as a
+  dataflow graph of operators over node/edge/compact value spaces, plus the
+  transformation passes (linear operator reordering, compact materialization,
+  dead-code elimination) and the greedy lowering driver.
+* :mod:`repro.ir.intra_op` — the intra-operator level IR: GEMM-template and
+  traversal-template kernel instances with schedules and data access schemes.
+* :mod:`repro.ir.codegen` — backends that turn kernel instances into
+  executable Python kernels and CUDA-like source text plus host functions.
+"""
+
+from repro.ir import inter_op
+from repro.ir import intra_op
+from repro.ir import codegen
+
+__all__ = ["inter_op", "intra_op", "codegen"]

@@ -1,0 +1,22 @@
+"""Code generation backends (Section 3.6).
+
+* :mod:`repro.ir.codegen.python_backend` — emits executable Python/numpy
+  kernels from a :class:`repro.ir.intra_op.plan.KernelPlan`; this is the path
+  the runtime actually runs and the one validated for numerical correctness.
+* :mod:`repro.ir.codegen.cuda_backend` — emits CUDA-like source text for every
+  kernel (specialisations of the GEMM and traversal templates) plus host
+  wrapper functions; used for inspection and the programming-effort metric.
+* :mod:`repro.ir.codegen.host` — emits the host-side dispatch/registration
+  code text (the ``TORCH_LIBRARY_FRAGMENT``-style bindings of Figure 5).
+"""
+
+from repro.ir.codegen.python_backend import GeneratedModule, generate_python_module
+from repro.ir.codegen.cuda_backend import generate_cuda_source
+from repro.ir.codegen.host import generate_host_source
+
+__all__ = [
+    "GeneratedModule",
+    "generate_python_module",
+    "generate_cuda_source",
+    "generate_host_source",
+]

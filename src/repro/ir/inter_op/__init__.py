@@ -1,0 +1,40 @@
+"""Inter-operator level IR (Section 3.2 of the paper).
+
+The IR expresses an RGNN layer as a dataflow graph of operators.  Each
+operator carries a *loop context* (edgewise, nodewise aggregation, nodewise,
+or weight prelude) corresponding to the for-each loops of the paper's
+Listing 1, and reads/writes named values that live in a *space*
+(per-node, per-edge, per unique ``(source node, edge type)`` pair, per-type
+weights, or per-edge scalars).  Data layout is deliberately not part of the
+operator semantics — it is decided later (compact materialization) and only
+affects the access schemes chosen at the intra-operator level.
+"""
+
+from repro.ir.inter_op.space import LoopContext, Space, ValueInfo
+from repro.ir.inter_op.operators import OpKind, Operator
+from repro.ir.inter_op.program import InterOpProgram
+from repro.ir.inter_op.builder import ProgramBuilder
+from repro.ir.inter_op.passes import (
+    CompactMaterializationPass,
+    DeadCodeEliminationPass,
+    LinearOperatorReorderingPass,
+    Pass,
+    PassManager,
+)
+from repro.ir.inter_op.lowering import lower_program
+
+__all__ = [
+    "LoopContext",
+    "Space",
+    "ValueInfo",
+    "OpKind",
+    "Operator",
+    "InterOpProgram",
+    "ProgramBuilder",
+    "Pass",
+    "PassManager",
+    "LinearOperatorReorderingPass",
+    "CompactMaterializationPass",
+    "DeadCodeEliminationPass",
+    "lower_program",
+]

@@ -1,0 +1,317 @@
+"""Lowering from the inter-operator level IR to a kernel plan.
+
+Following Section 3.2.5, the driver scans the program three times:
+
+1. every GEMM-eligible operator becomes an instance of the GEMM template;
+2. remaining traversal-eligible operators are fused greedily — adjacent
+   operators sharing a loop context and iteration domain become one traversal
+   instance — after loop canonicalisation;
+3. everything left falls back to the PyTorch-like runtime.
+
+Backward kernels are emitted by walking the forward kernels in reverse and
+asking each instance for its adjoint(s) (Section 3.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.ir.inter_op.operators import Operator, OpKind
+from repro.ir.inter_op.program import InterOpProgram
+from repro.ir.inter_op.space import LoopContext, NodeBinding, Space, TypeSelector, ValueInfo
+from repro.ir.intra_op.access import (
+    AccessScheme,
+    GatherKind,
+    ScatterKind,
+    gather_scheme,
+    scatter_scheme,
+)
+from repro.ir.intra_op.kernels import (
+    FallbackKernel,
+    GemmKernel,
+    GemmOperand,
+    KernelInstance,
+    MicroOp,
+    TraversalKernel,
+)
+from repro.ir.intra_op.plan import KernelPlan
+from repro.ir.intra_op.schedule import GemmSchedule, TraversalSchedule
+
+
+@dataclass
+class LoweringOptions:
+    """Knobs of the lowering driver.
+
+    Attributes:
+        gemm_schedule: schedule applied to GEMM-template instances.
+        traversal_schedule: schedule applied to traversal-template instances.
+        enable_fusion: fuse adjacent traversal operators into one kernel.
+        emit_backward: also emit the backward kernel list (training).
+    """
+
+    gemm_schedule: GemmSchedule = field(default_factory=GemmSchedule)
+    traversal_schedule: TraversalSchedule = field(default_factory=TraversalSchedule)
+    enable_fusion: bool = True
+    emit_backward: bool = True
+
+
+def lower_program(program: InterOpProgram, options: Optional[LoweringOptions] = None) -> KernelPlan:
+    """Lower an inter-op program into a :class:`KernelPlan`."""
+    options = options or LoweringOptions()
+    plan = KernelPlan(name=program.name, metadata=dict(program.metadata))
+    for value in program.values.values():
+        plan.buffers[value.name] = value
+        if value.is_parameter:
+            plan.parameter_names.append(value.name)
+        if value.is_input:
+            plan.input_names.append(value.name)
+        if value.is_output:
+            plan.output_names.append(value.name)
+
+    lowering = _LoweringContext(program, plan, options)
+    lowering.run()
+
+    if options.emit_backward:
+        for kernel in reversed(plan.forward_kernels):
+            plan.backward_kernels.extend(kernel.emit_backward())
+
+    plan.validate()
+    return plan
+
+
+class _LoweringContext:
+    """Implements the three-pass greedy lowering."""
+
+    def __init__(self, program: InterOpProgram, plan: KernelPlan, options: LoweringOptions):
+        self.program = program
+        self.plan = plan
+        self.options = options
+        self._gemm_counter = 0
+        self._traversal_counter = 0
+        self._fallback_counter = 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        decisions = self._decide_templates()
+        pending_traversal: List[Operator] = []
+        for operator in self.program.operators:
+            decision = decisions[operator.name]
+            if decision == "traversal":
+                if pending_traversal and not self._can_fuse(pending_traversal[-1], operator):
+                    self._emit_traversal_group(pending_traversal)
+                    pending_traversal = []
+                pending_traversal.append(operator)
+                continue
+            if pending_traversal:
+                self._emit_traversal_group(pending_traversal)
+                pending_traversal = []
+            if decision == "gemm":
+                self._emit_gemm(operator)
+            else:
+                self._emit_fallback(operator)
+        if pending_traversal:
+            self._emit_traversal_group(pending_traversal)
+
+    def _decide_templates(self) -> Dict[str, str]:
+        """First/second/third scan: record the template each operator lowers to."""
+        decisions: Dict[str, str] = {}
+        for operator in self.program.operators:
+            if operator.is_gemm_eligible():
+                decisions[operator.name] = "gemm"
+        for operator in self.program.operators:
+            if operator.name not in decisions and operator.is_traversal_eligible():
+                decisions[operator.name] = "traversal"
+        for operator in self.program.operators:
+            decisions.setdefault(operator.name, "fallback")
+        return decisions
+
+    # ------------------------------------------------------------------
+    # GEMM lowering
+    # ------------------------------------------------------------------
+    def _emit_gemm(self, operator: Operator) -> None:
+        self._gemm_counter += 1
+        x_name, weight_name = operator.inputs
+        x_info = self.program.values[x_name]
+        weight_info = self.program.values[weight_name]
+        y_info = self.program.values[operator.output]
+
+        m_space = y_info.space
+        x_access = self._gemm_x_access(operator, x_info, m_space)
+        y_access = self._gemm_y_access(m_space)
+        selector = operator.type_selector.value if operator.kind is OpKind.TYPED_LINEAR else "none"
+
+        kernel = GemmKernel(
+            name=f"gemm_{self._gemm_counter}",
+            x=GemmOperand(buffer=x_name, info=x_info, access=x_access),
+            weight=GemmOperand(buffer=weight_name, info=weight_info),
+            y=GemmOperand(buffer=operator.output, info=y_info, access=y_access),
+            type_selector=selector,
+            m_space=m_space,
+            k_dim=x_info.feature_shape[-1] if x_info.feature_shape else 1,
+            n_dim=y_info.feature_shape[-1] if y_info.feature_shape else 1,
+            schedule=self.options.gemm_schedule,
+            source_op=operator.name,
+        )
+        self.plan.forward_kernels.append(kernel)
+
+    @staticmethod
+    def _gemm_x_access(operator: Operator, x_info: ValueInfo, m_space: Space) -> AccessScheme:
+        binding = operator.binding_of(x_info.name)
+        if x_info.space is Space.NODE:
+            if operator.context is LoopContext.NODEWISE or m_space is Space.NODE:
+                return AccessScheme()
+            if binding is NodeBinding.DST:
+                return gather_scheme(GatherKind.EDGE_DST)
+            if m_space is Space.COMPACT:
+                return gather_scheme(GatherKind.UNIQUE_SRC)
+            return gather_scheme(GatherKind.EDGE_SRC)
+        if x_info.space is Space.EDGE:
+            return gather_scheme(GatherKind.ETYPE_PERMUTATION)
+        if x_info.space is Space.COMPACT:
+            if m_space is Space.COMPACT:
+                return AccessScheme()
+            return gather_scheme(GatherKind.EDGE_TO_COMPACT)
+        return AccessScheme()
+
+    @staticmethod
+    def _gemm_y_access(m_space: Space) -> AccessScheme:
+        if m_space is Space.EDGE:
+            return scatter_scheme(ScatterKind.ETYPE_SEGMENT)
+        if m_space is Space.COMPACT:
+            return scatter_scheme(ScatterKind.UNIQUE_ETYPE_SEGMENT)
+        return AccessScheme()
+
+    # ------------------------------------------------------------------
+    # traversal lowering
+    # ------------------------------------------------------------------
+    def _domain_of(self, operator: Operator) -> Space:
+        if operator.kind is OpKind.AGGREGATE:
+            return Space.EDGE
+        if operator.context is LoopContext.NODEWISE:
+            return Space.NODE
+        return self.program.values[operator.output].space
+
+    def _can_fuse(self, previous: Operator, current: Operator) -> bool:
+        if not self.options.enable_fusion:
+            return False
+        if previous.kind is OpKind.AGGREGATE:
+            # An aggregation closes its loop nest: operators after it need the
+            # fully accumulated per-node result, which a single fused kernel
+            # could not provide without a global barrier.
+            return False
+        return self._domain_of(previous) is self._domain_of(current)
+
+    def _emit_traversal_group(self, operators: Sequence[Operator]) -> None:
+        self._traversal_counter += 1
+        domain = self._domain_of(operators[0])
+        micro_ops: List[MicroOp] = []
+        buffer_infos: Dict[str, ValueInfo] = {}
+        produced_in_group: Set[str] = set()
+
+        for operator in operators:
+            access: Dict[str, str] = {}
+            scalar: Dict[str, bool] = {}
+            for input_name in operator.inputs:
+                info = self.program.values[input_name]
+                buffer_infos[input_name] = info
+                access[input_name] = self._traversal_access(operator, info, domain)
+                scalar[input_name] = not info.feature_shape
+            output_info = self.program.values[operator.output]
+            buffer_infos[operator.output] = output_info
+            produced_in_group.add(operator.output)
+            micro_ops.append(self._micro_op_for(operator, access, scalar))
+
+        local_values = self._fused_locals(operators, produced_in_group)
+        kernel = TraversalKernel(
+            name=f"traversal_{self._traversal_counter}",
+            domain=domain,
+            micro_ops=micro_ops,
+            buffer_infos=buffer_infos,
+            local_values=local_values,
+            schedule=self.options.traversal_schedule,
+            source_ops=[op.name for op in operators],
+        )
+        self.plan.forward_kernels.append(kernel)
+        self.plan.fused_values.update(local_values)
+
+    def _traversal_access(self, operator: Operator, info: ValueInfo, domain: Space) -> str:
+        """How a traversal micro-op reads one operand, given the kernel domain."""
+        binding = operator.binding_of(info.name)
+        if info.space is Space.NODE:
+            if domain is Space.NODE:
+                return "direct"
+            if binding is NodeBinding.DST:
+                return "dst"
+            return "src"
+        if info.space is Space.EDGE:
+            return "direct"
+        if info.space is Space.COMPACT:
+            return "direct" if domain is Space.COMPACT else "compact"
+        if info.space is Space.WEIGHT:
+            return "weight"
+        return "direct"
+
+    def _micro_op_for(self, operator: Operator, access: Dict[str, str], scalar: Dict[str, bool]) -> MicroOp:
+        attrs: Dict[str, object] = {
+            "access": access,
+            "scalar": scalar,
+            "type_selector": operator.type_selector.value,
+        }
+        attrs.update(operator.attrs)
+        kind_map = {
+            OpKind.DOT_PRODUCT: "dot",
+            OpKind.TYPED_VEC_DOT: "typed_vec_dot",
+            OpKind.BINARY: "binary",
+            OpKind.UNARY: "unary",
+            OpKind.SCALE: "scale",
+            OpKind.GATHER_DST: "copy",
+            OpKind.AGGREGATE: "scatter_add",
+            OpKind.COPY: "copy",
+        }
+        return MicroOp(kind=kind_map[operator.kind], inputs=list(operator.inputs), output=operator.output, attrs=attrs)
+
+    def _fused_locals(self, operators: Sequence[Operator], produced: Set[str]) -> Set[str]:
+        """Values produced and consumed only inside this fused kernel."""
+        locals_: Set[str] = set()
+        group_names = {op.name for op in operators}
+        for value_name in produced:
+            info = self.program.values[value_name]
+            if info.is_output or info.is_input or info.is_parameter:
+                continue
+            consumers = self.program.consumers_of(value_name)
+            if consumers and all(consumer.name in group_names for consumer in consumers):
+                locals_.add(value_name)
+        return locals_
+
+    # ------------------------------------------------------------------
+    # fallback lowering
+    # ------------------------------------------------------------------
+    def _emit_fallback(self, operator: Operator) -> None:
+        self._fallback_counter += 1
+        inputs = [(name, self.program.values[name]) for name in operator.inputs]
+        output_info = self.program.values[operator.output]
+        flops = self._fallback_flops(operator, output_info)
+        kernel = FallbackKernel(
+            name=f"fallback_{self._fallback_counter}",
+            op_kind=operator.kind.value,
+            inputs=inputs,
+            output=(operator.output, output_info),
+            flop_count=flops,
+            api_calls=1,
+            attrs={"type_selector": operator.type_selector.value, **operator.attrs},
+        )
+        self.plan.forward_kernels.append(kernel)
+
+    def _fallback_flops(self, operator: Operator, output_info: ValueInfo) -> float:
+        if operator.kind is OpKind.WEIGHT_PRODUCT:
+            a_info = self.program.values[operator.inputs[0]]
+            b_info = self.program.values[operator.inputs[1]]
+            k = a_info.feature_shape[-1] if len(a_info.feature_shape) > 1 else a_info.feature_shape[0]
+            n = b_info.feature_shape[-1] if b_info.feature_shape else 1
+            m = a_info.feature_shape[0]
+            # One small product per edge type; the workload-dependent type
+            # count is folded in by the cost model through rows().
+            return 2.0 * m * k * n
+        elements = output_info.elements_per_row()
+        return float(elements)

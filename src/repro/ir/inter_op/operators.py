@@ -1,0 +1,128 @@
+"""Operator kinds of the inter-operator level IR.
+
+The paper groups operators into three families (Table 2): GEMM-eligible
+computation (``linear``, ``outer_prod``), GEMM-ineligible computation
+(``dot_prod`` and other per-edge/per-node arithmetic), and manipulation
+(``reshape``, ``concat``).  The kinds below cover what RGCN, RGAT, and HGT
+need, plus the ``WEIGHT_PRODUCT`` operator introduced by linear operator
+reordering.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.ir.inter_op.space import LoopContext, NodeBinding, TypeSelector
+
+
+class OpKind(enum.Enum):
+    """Operator kinds understood by the passes and the lowering driver."""
+
+    # --- GEMM-eligible (preferred lowering: GEMM template) -------------
+    #: ``out[i] = x[i] @ W[type(i)]`` — the edgewise/nodewise typed linear layer.
+    TYPED_LINEAR = "typed_linear"
+    #: ``out[i] = x[i] @ W`` — untyped linear layer (e.g. RGCN's self-loop W0).
+    LINEAR = "linear"
+
+    # --- GEMM-ineligible per-row computation (traversal template) ------
+    #: ``out[i] = <a[i], b[i]>`` — rowwise dot product.
+    DOT_PRODUCT = "dot_product"
+    #: ``out[i] = <a[i], w[type(i)]>`` — dot with a per-type vector.
+    TYPED_VEC_DOT = "typed_vec_dot"
+    #: Rowwise binary arithmetic: attrs["op"] in {"add", "sub", "mul", "div"}.
+    BINARY = "binary"
+    #: Rowwise unary function: attrs["fn"] in {"exp", "leaky_relu", "relu"}.
+    UNARY = "unary"
+    #: ``out[i] = x[i] * s[i]`` — scale a row vector by a per-row scalar.
+    SCALE = "scale"
+    #: Gather a per-destination-node value onto edges: ``out[e] = x[dst(e)]``.
+    GATHER_DST = "gather_dst"
+    #: ``out[v] = sum over incoming edges e of (scale[e] *) x[e]`` — aggregation.
+    AGGREGATE = "aggregate"
+
+    # --- weight-only computation introduced by reordering --------------
+    #: ``out[t] = W_a[t] @ W_b[t]`` (or matrix-vector); executed via the
+    #: PyTorch-BMM fallback exactly as Section 3.2.3 prescribes.
+    WEIGHT_PRODUCT = "weight_product"
+
+    # --- manipulation ----------------------------------------------------
+    #: Concatenate per-row vectors along the feature dimension.
+    CONCAT = "concat"
+    #: Copy / rename a value (identity).
+    COPY = "copy"
+
+
+#: Operator kinds the GEMM template can implement.
+GEMM_ELIGIBLE = frozenset({OpKind.TYPED_LINEAR, OpKind.LINEAR})
+
+#: Operator kinds the traversal template can implement.
+TRAVERSAL_ELIGIBLE = frozenset(
+    {
+        OpKind.DOT_PRODUCT,
+        OpKind.TYPED_VEC_DOT,
+        OpKind.BINARY,
+        OpKind.UNARY,
+        OpKind.SCALE,
+        OpKind.GATHER_DST,
+        OpKind.AGGREGATE,
+        OpKind.COPY,
+    }
+)
+
+#: Operator kinds that always fall back to the PyTorch-like runtime.
+FALLBACK_ONLY = frozenset({OpKind.WEIGHT_PRODUCT, OpKind.CONCAT})
+
+
+@dataclass
+class Operator:
+    """One operator of the inter-op IR dataflow graph.
+
+    Attributes:
+        name: unique operator name within the program.
+        kind: operator kind.
+        context: loop context (edgewise / nodewise aggregation / nodewise /
+            weight prelude).
+        inputs: names of consumed values, in positional order.
+        output: name of the produced value.
+        type_selector: for typed operators, which type index selects the
+            weight slice.
+        bindings: per input, which endpoint a :attr:`Space.NODE` operand is
+            read through when the operator runs in an edge loop.
+        attrs: kind-specific attributes (e.g. ``{"op": "add"}``).
+    """
+
+    name: str
+    kind: OpKind
+    context: LoopContext
+    inputs: List[str]
+    output: str
+    type_selector: TypeSelector = TypeSelector.NONE
+    bindings: Dict[str, NodeBinding] = field(default_factory=dict)
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def binding_of(self, value_name: str) -> NodeBinding:
+        """Endpoint binding of an input value (defaults to ``NONE``)."""
+        return self.bindings.get(value_name, NodeBinding.NONE)
+
+    def is_gemm_eligible(self) -> bool:
+        """Whether the GEMM template can implement this operator."""
+        return self.kind in GEMM_ELIGIBLE
+
+    def is_traversal_eligible(self) -> bool:
+        """Whether the traversal template can implement this operator."""
+        return self.kind in TRAVERSAL_ELIGIBLE
+
+    def describe(self) -> str:
+        """Single-line human-readable description (used in IR dumps)."""
+        selector = f", type={self.type_selector.value}" if self.type_selector != TypeSelector.NONE else ""
+        bindings = ""
+        if self.bindings:
+            parts = ", ".join(f"{k}←{v.value}" for k, v in self.bindings.items())
+            bindings = f" [{parts}]"
+        attrs = f" {self.attrs}" if self.attrs else ""
+        return (
+            f"{self.output} = {self.kind.value}({', '.join(self.inputs)}{selector})"
+            f" @{self.context.value}{bindings}{attrs}"
+        )

@@ -1,0 +1,246 @@
+"""The inter-operator level program: values + operators in dataflow order."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.ir.inter_op.operators import Operator, OpKind
+from repro.ir.inter_op.space import LoopContext, NodeBinding, Space, TypeSelector, ValueInfo
+
+
+class IRValidationError(ValueError):
+    """Raised when an inter-op program violates a structural invariant."""
+
+
+@dataclass
+class InterOpProgram:
+    """A single RGNN layer expressed at the inter-operator level.
+
+    Attributes:
+        name: model/layer name (e.g. ``"rgat_layer"``).
+        values: all named values with their metadata.
+        operators: operators in topological (program) order.
+        in_dim / out_dim: feature dimensions of the layer.
+        metadata: free-form annotations recorded by passes (for reporting).
+    """
+
+    name: str
+    values: Dict[str, ValueInfo] = field(default_factory=dict)
+    operators: List[Operator] = field(default_factory=list)
+    in_dim: int = 0
+    out_dim: int = 0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def add_value(self, value: ValueInfo) -> ValueInfo:
+        """Register a value; raises on duplicate names."""
+        if value.name in self.values:
+            raise IRValidationError(f"duplicate value name {value.name!r}")
+        self.values[value.name] = value
+        return value
+
+    def add_operator(self, operator: Operator) -> Operator:
+        """Append an operator; all inputs and the output must be registered."""
+        for input_name in operator.inputs:
+            if input_name not in self.values:
+                raise IRValidationError(
+                    f"operator {operator.name!r} reads unknown value {input_name!r}"
+                )
+        if operator.output not in self.values:
+            raise IRValidationError(
+                f"operator {operator.name!r} writes unknown value {operator.output!r}"
+            )
+        self.operators.append(operator)
+        return operator
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def value(self, name: str) -> ValueInfo:
+        return self.values[name]
+
+    def producer_of(self, value_name: str) -> Optional[Operator]:
+        """The operator producing ``value_name``, or ``None`` for inputs."""
+        for operator in self.operators:
+            if operator.output == value_name:
+                return operator
+        return None
+
+    def consumers_of(self, value_name: str) -> List[Operator]:
+        """All operators reading ``value_name``."""
+        return [op for op in self.operators if value_name in op.inputs]
+
+    def input_values(self) -> List[ValueInfo]:
+        return [v for v in self.values.values() if v.is_input]
+
+    def parameter_values(self) -> List[ValueInfo]:
+        return [v for v in self.values.values() if v.is_parameter]
+
+    def output_values(self) -> List[ValueInfo]:
+        return [v for v in self.values.values() if v.is_output]
+
+    def operators_in_context(self, context: LoopContext) -> List[Operator]:
+        return [op for op in self.operators if op.context is context]
+
+    def count_kind(self, kind: OpKind) -> int:
+        return sum(1 for op in self.operators if op.kind is kind)
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`IRValidationError`.
+
+        * every operator input is either a program input, a parameter, or
+          produced by an earlier operator (SSA-like ordering);
+        * every value is produced at most once;
+        * typed operators declare a type selector;
+        * outputs are produced by some operator;
+        * node-space inputs of edgewise operators carry an endpoint binding.
+        """
+        produced: Set[str] = set()
+        for value in self.values.values():
+            if value.is_input or value.is_parameter:
+                produced.add(value.name)
+        seen_outputs: Set[str] = set()
+        for operator in self.operators:
+            for input_name in operator.inputs:
+                if input_name not in produced:
+                    raise IRValidationError(
+                        f"operator {operator.name!r} reads {input_name!r} before it is produced"
+                    )
+            if operator.output in seen_outputs:
+                raise IRValidationError(f"value {operator.output!r} produced more than once")
+            seen_outputs.add(operator.output)
+            produced.add(operator.output)
+            self._validate_operator(operator)
+        for value in self.output_values():
+            if value.name not in produced:
+                raise IRValidationError(f"output value {value.name!r} is never produced")
+
+    def _validate_operator(self, operator: Operator) -> None:
+        if operator.kind in (OpKind.TYPED_LINEAR, OpKind.TYPED_VEC_DOT):
+            if operator.type_selector is TypeSelector.NONE:
+                raise IRValidationError(
+                    f"typed operator {operator.name!r} must declare a type selector"
+                )
+        if operator.context is LoopContext.EDGEWISE:
+            for input_name in operator.inputs:
+                value = self.values[input_name]
+                if value.space is Space.NODE and operator.binding_of(input_name) is NodeBinding.NONE:
+                    raise IRValidationError(
+                        f"edgewise operator {operator.name!r} reads node value {input_name!r} "
+                        "without a src/dst binding"
+                    )
+        if operator.kind is OpKind.AGGREGATE and operator.context is not LoopContext.NODEWISE_AGG:
+            raise IRValidationError(
+                f"aggregate operator {operator.name!r} must run in the nodewise aggregation context"
+            )
+
+    # ------------------------------------------------------------------
+    # transformations used by passes
+    # ------------------------------------------------------------------
+    def remove_operators(self, names: Iterable[str]) -> None:
+        """Remove operators by name (used by dead-code elimination)."""
+        doomed = set(names)
+        self.operators = [op for op in self.operators if op.name not in doomed]
+
+    def remove_unused_values(self) -> List[str]:
+        """Drop values that are neither read, produced, inputs, nor outputs."""
+        used: Set[str] = set()
+        for operator in self.operators:
+            used.update(operator.inputs)
+            used.add(operator.output)
+        removed = []
+        for name in list(self.values):
+            value = self.values[name]
+            if name not in used and not (value.is_input or value.is_output):
+                del self.values[name]
+                removed.append(name)
+        return removed
+
+    def live_values(self) -> Set[str]:
+        """Values reachable backwards from the program outputs."""
+        live: Set[str] = {v.name for v in self.output_values()}
+        changed = True
+        while changed:
+            changed = False
+            for operator in self.operators:
+                if operator.output in live:
+                    for input_name in operator.inputs:
+                        if input_name not in live:
+                            live.add(input_name)
+                            changed = True
+        return live
+
+    def fresh_name(self, stem: str) -> str:
+        """Return a value/operator name not yet used in the program."""
+        if stem not in self.values and all(op.name != stem for op in self.operators):
+            return stem
+        index = 1
+        while True:
+            candidate = f"{stem}_{index}"
+            if candidate not in self.values and all(op.name != candidate for op in self.operators):
+                return candidate
+            index += 1
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def dump(self) -> str:
+        """Human-readable IR listing (used by tests and the IR inspection example)."""
+        lines = [f"program {self.name} (in_dim={self.in_dim}, out_dim={self.out_dim})"]
+        lines.append("  values:")
+        for value in self.values.values():
+            flags = []
+            if value.is_input:
+                flags.append("input")
+            if value.is_parameter:
+                flags.append("param")
+            if value.is_output:
+                flags.append("output")
+            per_type = f" per {value.per_type}" if value.per_type else ""
+            lines.append(
+                f"    {value.name}: {value.space.value}{per_type} shape={value.feature_shape}"
+                + (f" [{', '.join(flags)}]" if flags else "")
+            )
+        lines.append("  operators:")
+        for operator in self.operators:
+            lines.append(f"    {operator.describe()}")
+        return "\n".join(lines)
+
+    def clone(self) -> "InterOpProgram":
+        """Deep-enough copy for pass pipelines (operators/values duplicated)."""
+        program = InterOpProgram(
+            name=self.name,
+            in_dim=self.in_dim,
+            out_dim=self.out_dim,
+            metadata=dict(self.metadata),
+        )
+        for value in self.values.values():
+            program.values[value.name] = value.copy_with()
+        for operator in self.operators:
+            program.operators.append(
+                Operator(
+                    name=operator.name,
+                    kind=operator.kind,
+                    context=operator.context,
+                    inputs=list(operator.inputs),
+                    output=operator.output,
+                    type_selector=operator.type_selector,
+                    bindings=dict(operator.bindings),
+                    attrs=dict(operator.attrs),
+                )
+            )
+        return program
+
+    def source_line_count(self) -> int:
+        """Number of 'source lines' the model definition corresponds to.
+
+        Used by the programming-effort metric (Section 4.1): one line per
+        operator plus one per declared parameter.
+        """
+        return len(self.operators) + len(self.parameter_values())

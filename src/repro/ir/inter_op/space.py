@@ -1,0 +1,137 @@
+"""Value spaces, loop contexts, and value metadata for the inter-op IR.
+
+A *space* says what a value is indexed by (one row per node, per edge, per
+unique ``(source node, edge type)`` pair, per type for weights, …).  Compact
+materialization is expressed purely as changing a value's space from
+:attr:`Space.EDGE` to :attr:`Space.COMPACT`; the operator graph itself is
+unchanged, exactly as the paper's decoupling of semantics and layout intends.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class Space(enum.Enum):
+    """What a value is indexed by."""
+
+    #: One row per node (global node id order, nodes grouped by type).
+    NODE = "node"
+    #: One row per edge (edge id order, or sorted by edge type for segment MM).
+    EDGE = "edge"
+    #: One row per unique (source node, edge type) pair — compact materialization.
+    COMPACT = "compact"
+    #: One matrix / vector per type (edge type or node type); learnable weights.
+    WEIGHT = "weight"
+    #: A single value not indexed by graph elements (e.g. a scalar constant).
+    GLOBAL = "global"
+
+
+class LoopContext(enum.Enum):
+    """Which for-each loop of the source program an operator belongs to."""
+
+    #: ``for e in g.edges(): ...`` — one iteration per edge.
+    EDGEWISE = "edgewise"
+    #: ``for n in g.dst_nodes(): for e in n.incoming_edges(): ...`` — aggregation.
+    NODEWISE_AGG = "nodewise_agg"
+    #: ``for n in g.nodes(): ...`` — per-node computation (no neighbourhood).
+    NODEWISE = "nodewise"
+    #: Computation among weights only (no graph loop); e.g. reordered products.
+    PRELUDE = "prelude"
+
+
+class TypeSelector(enum.Enum):
+    """Which type index selects the weight slice of a typed operator."""
+
+    EDGE_TYPE = "etype"
+    SRC_NODE_TYPE = "src_ntype"
+    DST_NODE_TYPE = "dst_ntype"
+    SELF_NODE_TYPE = "ntype"
+    NONE = "none"
+
+
+class NodeBinding(enum.Enum):
+    """Which endpoint a node-space operand is read through inside an edge loop."""
+
+    SRC = "src"
+    DST = "dst"
+    SELF = "self"
+    NONE = "none"
+
+
+@dataclass
+class ValueInfo:
+    """Metadata of a named IR value.
+
+    Attributes:
+        name: unique value name within a program.
+        space: what the value is indexed by.
+        feature_shape: trailing (per-row) shape; ``()`` for per-row scalars,
+            ``(d,)`` for feature vectors, ``(d_in, d_out)`` for weight matrices.
+        per_type: for :attr:`Space.WEIGHT` values, whether there is one slice
+            per edge type (``"edge_type"``), per node type (``"node_type"``),
+            or a single shared slice (``None``).
+        is_input: graph-provided input (node features, normalisation factors).
+        is_parameter: learnable parameter.
+        is_output: value returned by the layer.
+        dtype_bytes: element size in bytes (4 = float32, the paper's setting).
+    """
+
+    name: str
+    space: Space
+    feature_shape: Tuple[int, ...] = ()
+    per_type: Optional[str] = None
+    is_input: bool = False
+    is_parameter: bool = False
+    is_output: bool = False
+    dtype_bytes: int = 4
+
+    def elements_per_row(self) -> int:
+        """Number of scalar elements in one row of this value."""
+        total = 1
+        for dim in self.feature_shape:
+            total *= int(dim)
+        return total
+
+    def rows(self, workload) -> int:
+        """Number of rows of this value under a given workload.
+
+        Args:
+            workload: an object exposing ``num_nodes``, ``num_edges``,
+                ``num_unique_pairs``, ``num_edge_types``, ``num_node_types``
+                (see :class:`repro.evaluation.workload.WorkloadSpec`).
+        """
+        if self.space is Space.NODE:
+            return workload.num_nodes
+        if self.space is Space.EDGE:
+            return workload.num_edges
+        if self.space is Space.COMPACT:
+            return workload.num_unique_pairs
+        if self.space is Space.WEIGHT:
+            if self.per_type == "edge_type":
+                return workload.num_edge_types
+            if self.per_type == "node_type":
+                return workload.num_node_types
+            return 1
+        return 1
+
+    def num_bytes(self, workload) -> int:
+        """Total size in bytes under a given workload."""
+        return self.rows(workload) * self.elements_per_row() * self.dtype_bytes
+
+    def copy_with(self, **overrides) -> "ValueInfo":
+        """Return a copy with selected fields replaced."""
+        data = {
+            "name": self.name,
+            "space": self.space,
+            "feature_shape": self.feature_shape,
+            "per_type": self.per_type,
+            "is_input": self.is_input,
+            "is_parameter": self.is_parameter,
+            "is_output": self.is_output,
+            "dtype_bytes": self.dtype_bytes,
+        }
+        data.update(overrides)
+        return ValueInfo(**data)

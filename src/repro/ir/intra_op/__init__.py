@@ -1,0 +1,41 @@
+"""Intra-operator level IR (Section 3.3 of the paper).
+
+Kernel instances are derived from two templates:
+
+* :class:`repro.ir.intra_op.kernels.GemmKernel` — the GEMM template: a tiled
+  matrix multiply augmented with gather/scatter access schemes and per-type
+  weight slicing (``Y[S] = X[G] × W[T]``).
+* :class:`repro.ir.intra_op.kernels.TraversalKernel` — the node/edge traversal
+  template: a fused sequence of per-row micro-operations (dot products,
+  elementwise arithmetic, gathers, scatter-add aggregation).
+
+Operators that neither template supports fall back to
+:class:`repro.ir.intra_op.kernels.FallbackKernel` (the PyTorch-call path).
+Each instance carries a schedule (tile size, coarsening factor, launch
+bounds) and enough size information for the GPU cost model to evaluate it.
+"""
+
+from repro.ir.intra_op.access import AccessScheme, GatherKind, ScatterKind
+from repro.ir.intra_op.schedule import GemmSchedule, TraversalSchedule
+from repro.ir.intra_op.kernels import (
+    FallbackKernel,
+    GemmKernel,
+    KernelInstance,
+    MicroOp,
+    TraversalKernel,
+)
+from repro.ir.intra_op.plan import KernelPlan
+
+__all__ = [
+    "AccessScheme",
+    "GatherKind",
+    "ScatterKind",
+    "GemmSchedule",
+    "TraversalSchedule",
+    "KernelInstance",
+    "GemmKernel",
+    "TraversalKernel",
+    "FallbackKernel",
+    "MicroOp",
+    "KernelPlan",
+]

@@ -1,0 +1,107 @@
+"""Data access schemes for generated kernels.
+
+The GEMM template is ``Y[S] = X[G] × W[T]`` (Section 3.3.1): ``G`` is a gather
+list locating the rows of ``X``, ``S`` a scatter list locating the rows of
+``Y``, and ``T`` selects the weight slice.  This module enumerates the gather
+and scatter schemes the reproduction's code generator can specialise, which is
+exactly the set the paper's Figure 7 uses (``row_idx`` vs ``unique_row_idx``
+gather, ``etype_ptr`` vs ``unique_etype_ptr`` segmented scatter).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class GatherKind(enum.Enum):
+    """How input rows are located."""
+
+    #: Rows are already contiguous in the iteration order (no indirection).
+    IDENTITY = "identity"
+    #: Gather node rows through the per-edge source index (``row_idx``).
+    EDGE_SRC = "edge_src"
+    #: Gather node rows through the per-edge destination index.
+    EDGE_DST = "edge_dst"
+    #: Gather node rows through the unique-pair source index (``unique_row_idx``).
+    UNIQUE_SRC = "unique_src"
+    #: Gather compact rows through the edge → unique-pair mapping.
+    EDGE_TO_COMPACT = "edge_to_compact"
+    #: Gather per-edge rows through the edges-sorted-by-type permutation.
+    ETYPE_PERMUTATION = "etype_permutation"
+
+
+class ScatterKind(enum.Enum):
+    """How output rows are stored."""
+
+    #: Rows are stored contiguously in iteration order.
+    IDENTITY = "identity"
+    #: Rows are scattered back to edge-id order (``entry_idx_per_etype + etype_ptr``).
+    ETYPE_SEGMENT = "etype_segment"
+    #: Rows are stored per unique pair (``unique_etype_ptr`` segments).
+    UNIQUE_ETYPE_SEGMENT = "unique_etype_segment"
+    #: Rows are accumulated into destination nodes with atomic adds.
+    SCATTER_ADD_DST = "scatter_add_dst"
+
+
+@dataclass
+class AccessScheme:
+    """Gather/scatter/transpose specification of one GEMM operand or output.
+
+    Attributes:
+        gather: how rows are located when loading.
+        scatter: how rows are located when storing.
+        transpose: whether the operand is transposed on the fly.
+        index_array: name of the index array in the graph context that the
+            generated kernel reads (``"row_idx"``, ``"unique_row_idx"``, …),
+            recorded for code generation and for the cost model's index
+            traffic accounting.
+    """
+
+    gather: GatherKind = GatherKind.IDENTITY
+    scatter: ScatterKind = ScatterKind.IDENTITY
+    transpose: bool = False
+    index_array: Optional[str] = None
+
+    def needs_index_traffic(self) -> bool:
+        """Whether this scheme reads an index array per row."""
+        return self.gather not in (GatherKind.IDENTITY,) or self.scatter not in (
+            ScatterKind.IDENTITY,
+        )
+
+    def describe(self) -> str:
+        """Short description used in IR dumps and generated-code comments."""
+        parts = []
+        if self.gather is not GatherKind.IDENTITY:
+            parts.append(f"GATHER({self.index_array or self.gather.value})")
+        if self.scatter is not ScatterKind.IDENTITY:
+            parts.append(f"SCATTER({self.index_array or self.scatter.value})")
+        if self.transpose:
+            parts.append("TRANSPOSE")
+        return "[" + ", ".join(parts) + "]" if parts else "[DIRECT]"
+
+
+#: Index array names used by the generated kernels, keyed by gather kind.
+INDEX_ARRAY_NAMES = {
+    GatherKind.EDGE_SRC: "row_idx",
+    GatherKind.EDGE_DST: "col_idx",
+    GatherKind.UNIQUE_SRC: "unique_row_idx",
+    GatherKind.EDGE_TO_COMPACT: "edge_to_unique",
+    GatherKind.ETYPE_PERMUTATION: "etype_perm",
+}
+
+
+def gather_scheme(kind: GatherKind, transpose: bool = False) -> AccessScheme:
+    """Convenience constructor for a gather-only access scheme."""
+    return AccessScheme(gather=kind, transpose=transpose, index_array=INDEX_ARRAY_NAMES.get(kind))
+
+
+def scatter_scheme(kind: ScatterKind) -> AccessScheme:
+    """Convenience constructor for a scatter-only access scheme."""
+    names = {
+        ScatterKind.ETYPE_SEGMENT: "etype_ptr",
+        ScatterKind.UNIQUE_ETYPE_SEGMENT: "unique_etype_ptr",
+        ScatterKind.SCATTER_ADD_DST: "col_idx",
+    }
+    return AccessScheme(scatter=kind, index_array=names.get(kind))

@@ -1,0 +1,496 @@
+"""Kernel instances derived from the GEMM and traversal templates.
+
+Every instance knows
+
+* its iteration domain and operand buffers, so the Python/CUDA backends can
+  generate code for it,
+* its arithmetic and memory-traffic volume under a workload, so the GPU cost
+  model can price it, and
+* how to emit its backward counterpart(s), mirroring how Hector pairs forward
+  and backward kernels inside ``autograd.Function`` definitions (Section 3.5).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.inter_op.space import Space, ValueInfo
+from repro.ir.intra_op.access import AccessScheme, GatherKind, ScatterKind, gather_scheme, scatter_scheme
+from repro.ir.intra_op.schedule import GemmSchedule, TraversalSchedule
+
+FLOAT_BYTES = 4
+INDEX_BYTES = 8
+
+
+def _rows_of_space(space: Space, workload) -> int:
+    if space is Space.NODE:
+        return workload.num_nodes
+    if space is Space.EDGE:
+        return workload.num_edges
+    if space is Space.COMPACT:
+        return workload.num_unique_pairs
+    if space is Space.WEIGHT:
+        return workload.num_edge_types
+    return 1
+
+
+def _types_of_selector(selector: str, workload) -> int:
+    if selector in ("etype",):
+        return workload.num_edge_types
+    if selector in ("src_ntype", "dst_ntype", "ntype"):
+        return workload.num_node_types
+    return 1
+
+
+class KernelInstance:
+    """Common interface of generated kernels."""
+
+    #: ``"gemm"``, ``"traversal"``, or ``"fallback"`` — used by breakdowns.
+    category: str = "kernel"
+
+    def __init__(self, name: str, direction: str = "forward"):
+        self.name = name
+        self.direction = direction
+        self.uses_atomics: bool = False
+        self.has_outer_product: bool = False
+
+    # -- cost interface -------------------------------------------------
+    def rows(self, workload) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def flops(self, workload) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def bytes_read(self, workload) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def bytes_written(self, workload) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def launches(self, workload) -> int:
+        """Number of device kernel launches this instance issues."""
+        return 1
+
+    # -- buffers ----------------------------------------------------------
+    def read_buffers(self) -> List[str]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def written_buffers(self) -> List[str]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # -- backward ---------------------------------------------------------
+    def emit_backward(self) -> List["KernelInstance"]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return f"{self.name} [{self.category}/{self.direction}]"
+
+
+# ======================================================================
+# GEMM template
+# ======================================================================
+@dataclass
+class GemmOperand:
+    """One operand of a GEMM instance: a buffer name plus its access scheme."""
+
+    buffer: str
+    info: ValueInfo
+    access: AccessScheme = field(default_factory=AccessScheme)
+
+
+class GemmKernel(KernelInstance):
+    """Instance of the GEMM template ``Y[S] = X[G] × W[T]``.
+
+    Args:
+        name: unique kernel name (``gemm_<k>``).
+        x / weight / y: operands.  ``weight.info.per_type`` and
+            ``type_selector`` determine how ``T`` is resolved.
+        type_selector: ``"etype"``, ``"src_ntype"``, ``"dst_ntype"``,
+            ``"ntype"``, or ``"none"`` for an untyped linear layer.
+        m_space: the iteration/output row space (edges, unique pairs, nodes).
+        k_dim / n_dim: inner and output feature dimensions.
+        schedule: GEMM schedule (tile size, coarsening, launch bounds).
+        role: ``"forward"``, ``"dgrad"`` (input gradient), or ``"wgrad"``
+            (weight gradient — the outer-product kernel).
+    """
+
+    category = "gemm"
+
+    def __init__(
+        self,
+        name: str,
+        x: GemmOperand,
+        weight: GemmOperand,
+        y: GemmOperand,
+        type_selector: str,
+        m_space: Space,
+        k_dim: int,
+        n_dim: int,
+        schedule: Optional[GemmSchedule] = None,
+        role: str = "forward",
+        direction: str = "forward",
+        source_op: Optional[str] = None,
+    ):
+        super().__init__(name, direction)
+        self.x = x
+        self.weight = weight
+        self.y = y
+        self.type_selector = type_selector
+        self.m_space = m_space
+        self.k_dim = int(k_dim)
+        self.n_dim = int(n_dim)
+        self.schedule = schedule or GemmSchedule()
+        self.role = role
+        self.source_op = source_op
+        if role == "wgrad":
+            self.has_outer_product = True
+            self.uses_atomics = True
+        if role == "dgrad" and x.access.gather in (
+            GatherKind.EDGE_SRC,
+            GatherKind.UNIQUE_SRC,
+            GatherKind.EDGE_TO_COMPACT,
+        ):
+            self.uses_atomics = True
+
+    # -- cost -------------------------------------------------------------
+    def rows(self, workload) -> int:
+        return _rows_of_space(self.m_space, workload)
+
+    def num_types(self, workload) -> int:
+        return _types_of_selector(self.type_selector, workload)
+
+    def flops(self, workload) -> float:
+        return 2.0 * self.rows(workload) * self.k_dim * self.n_dim
+
+    def bytes_read(self, workload) -> float:
+        rows = self.rows(workload)
+        x_bytes = rows * self.k_dim * FLOAT_BYTES
+        w_bytes = self.num_types(workload) * self.k_dim * self.n_dim * FLOAT_BYTES
+        index_bytes = 0.0
+        if self.x.access.needs_index_traffic():
+            index_bytes += rows * INDEX_BYTES
+        if self.y.access.needs_index_traffic():
+            index_bytes += rows * INDEX_BYTES
+        if self.role == "wgrad":
+            # Reads both the input rows and the upstream gradient rows.
+            x_bytes += rows * self.n_dim * FLOAT_BYTES
+        return x_bytes + w_bytes + index_bytes
+
+    def bytes_written(self, workload) -> float:
+        if self.role == "wgrad":
+            return self.num_types(workload) * self.k_dim * self.n_dim * FLOAT_BYTES
+        return self.rows(workload) * self.n_dim * FLOAT_BYTES
+
+    def read_buffers(self) -> List[str]:
+        return [self.x.buffer, self.weight.buffer]
+
+    def written_buffers(self) -> List[str]:
+        return [self.y.buffer]
+
+    # -- backward ---------------------------------------------------------
+    def emit_backward(self) -> List[KernelInstance]:
+        """Emit the input-gradient and weight-gradient kernels.
+
+        ``dX[G] += dY[S] × Wᵀ[T]`` and ``dW[T] += Xᵀ[G] × dY[S]``.
+        The weight-gradient kernel performs per-type outer products with
+        atomic accumulation — the latency bottleneck Section 4.4 profiles.
+        """
+        if self.role != "forward":
+            raise ValueError("backward kernels are emitted from forward GEMM instances only")
+        grad_y = GemmOperand(
+            buffer=f"grad_{self.y.buffer}",
+            info=self.y.info.copy_with(name=f"grad_{self.y.buffer}"),
+            access=self.y.access,
+        )
+        grad_x = GemmOperand(
+            buffer=f"grad_{self.x.buffer}",
+            info=self.x.info.copy_with(name=f"grad_{self.x.buffer}"),
+            access=self.x.access,
+        )
+        grad_w = GemmOperand(
+            buffer=f"grad_{self.weight.buffer}",
+            info=self.weight.info.copy_with(name=f"grad_{self.weight.buffer}"),
+            access=self.weight.access,
+        )
+        dgrad = GemmKernel(
+            name=f"{self.name}_dgrad",
+            x=grad_y,
+            weight=self.weight,
+            y=grad_x,
+            type_selector=self.type_selector,
+            m_space=self.m_space,
+            k_dim=self.n_dim,
+            n_dim=self.k_dim,
+            schedule=self.schedule,
+            role="dgrad",
+            direction="backward",
+            source_op=self.source_op,
+        )
+        wgrad = GemmKernel(
+            name=f"{self.name}_wgrad",
+            x=self.x,
+            weight=grad_y,
+            y=grad_w,
+            type_selector=self.type_selector,
+            m_space=self.m_space,
+            k_dim=self.k_dim,
+            n_dim=self.n_dim,
+            schedule=self.schedule,
+            role="wgrad",
+            direction="backward",
+            source_op=self.source_op,
+        )
+        return [dgrad, wgrad]
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: Y:({self.y.buffer}{self.y.access.describe()}) = "
+            f"X:({self.x.buffer}{self.x.access.describe()}) × W:({self.weight.buffer}, {self.type_selector}) "
+            f"M={self.m_space.value} K={self.k_dim} N={self.n_dim} "
+            f"schedule {self.schedule.describe()} role={self.role}"
+        )
+
+
+# ======================================================================
+# Traversal template
+# ======================================================================
+@dataclass
+class MicroOp:
+    """One fused statement inside a traversal-template instance.
+
+    Kinds: ``gather_src``, ``gather_dst``, ``gather_compact``, ``read_edge``,
+    ``dot``, ``typed_vec_dot``, ``binary``, ``unary``, ``scale``,
+    ``scatter_add``, ``copy``.
+    """
+
+    kind: str
+    inputs: List[str]
+    output: str
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def flops_per_row(self, feature_dim: int) -> float:
+        """Floating-point operations per iteration-domain row."""
+        if self.kind in ("dot", "typed_vec_dot"):
+            return 2.0 * feature_dim
+        if self.kind in ("binary", "scale"):
+            return float(feature_dim)
+        if self.kind == "unary":
+            fn = self.attrs.get("fn", "relu")
+            return (4.0 if fn == "exp" else 1.0) * feature_dim
+        if self.kind == "scatter_add":
+            return float(feature_dim)
+        return 0.0
+
+
+class TraversalKernel(KernelInstance):
+    """Instance of the node/edge traversal template: fused per-row micro-ops.
+
+    Args:
+        name: unique kernel name (``traversal_<k>``).
+        domain: iteration domain (edges, unique pairs, or nodes).
+        micro_ops: fused statements executed per row.
+        buffer_infos: metadata of every global buffer the kernel touches.
+        local_values: names of values that exist only inside the fused kernel
+            (they are not charged global-memory traffic or footprint).
+        schedule: traversal schedule.
+    """
+
+    category = "traversal"
+
+    def __init__(
+        self,
+        name: str,
+        domain: Space,
+        micro_ops: Sequence[MicroOp],
+        buffer_infos: Dict[str, ValueInfo],
+        local_values: Optional[Sequence[str]] = None,
+        schedule: Optional[TraversalSchedule] = None,
+        direction: str = "forward",
+        source_ops: Optional[List[str]] = None,
+    ):
+        super().__init__(name, direction)
+        self.domain = domain
+        self.micro_ops = list(micro_ops)
+        self.buffer_infos = dict(buffer_infos)
+        self.local_values = set(local_values or [])
+        self.schedule = schedule or TraversalSchedule()
+        self.source_ops = source_ops or []
+        self.uses_atomics = any(op.kind == "scatter_add" for op in self.micro_ops)
+
+    # -- cost -------------------------------------------------------------
+    def rows(self, workload) -> int:
+        return _rows_of_space(self.domain, workload)
+
+    def _feature_dim(self, name: str) -> int:
+        info = self.buffer_infos.get(name)
+        if info is None or not info.feature_shape:
+            return 1
+        dim = 1
+        for d in info.feature_shape:
+            dim *= int(d)
+        return dim
+
+    def flops(self, workload) -> float:
+        rows = self.rows(workload)
+        total = 0.0
+        for op in self.micro_ops:
+            dim = max(self._feature_dim(op.output), max((self._feature_dim(i) for i in op.inputs), default=1))
+            total += op.flops_per_row(dim) * rows
+        if self.direction == "backward":
+            # Each forward statement yields adjoint updates to all operands.
+            total *= 2.0
+        return total
+
+    def read_buffers(self) -> List[str]:
+        written = {op.output for op in self.micro_ops}
+        reads: List[str] = []
+        for op in self.micro_ops:
+            for name in op.inputs:
+                if name in self.buffer_infos and name not in written and name not in reads:
+                    reads.append(name)
+        return reads
+
+    def written_buffers(self) -> List[str]:
+        writes: List[str] = []
+        for op in self.micro_ops:
+            name = op.output
+            if name in self.buffer_infos and name not in self.local_values and name not in writes:
+                writes.append(name)
+        return writes
+
+    def bytes_read(self, workload) -> float:
+        rows = self.rows(workload)
+        total = 0.0
+        for name in self.read_buffers():
+            if name in self.local_values:
+                continue
+            total += rows * self._feature_dim(name) * FLOAT_BYTES
+        # Index traffic: gathers and scatters read one index per row.
+        index_ops = sum(
+            1 for op in self.micro_ops if op.kind in ("gather_src", "gather_dst", "gather_compact", "scatter_add")
+        )
+        total += index_ops * rows * INDEX_BYTES
+        if self.direction == "backward":
+            total *= 2.0
+        return total
+
+    def bytes_written(self, workload) -> float:
+        rows = self.rows(workload)
+        total = 0.0
+        for name in self.written_buffers():
+            info = self.buffer_infos.get(name)
+            out_rows = _rows_of_space(info.space, workload) if info is not None else rows
+            total += out_rows * self._feature_dim(name) * FLOAT_BYTES
+        if self.direction == "backward":
+            total *= 2.0
+        return total
+
+    # -- backward ---------------------------------------------------------
+    def emit_backward(self) -> List[KernelInstance]:
+        """Adjoint traversal kernel.
+
+        The backward instance carries the *forward* micro-op list with
+        ``direction="backward"``; the code generator walks the list in reverse
+        and emits the adjoint of each statement.  Gradients are accumulated
+        with atomic updates (the adjoint of a gather is a scatter-add), which
+        is why the paper finds backward traversal kernels latency-bound
+        (Section 4.4); arithmetic and traffic are roughly doubled relative to
+        the forward kernel.
+        """
+        grad_infos = dict(self.buffer_infos)
+        for name, info in self.buffer_infos.items():
+            grad_infos[f"grad_{name}"] = info.copy_with(name=f"grad_{name}")
+        backward = TraversalKernel(
+            name=f"{self.name}_bwd",
+            domain=self.domain,
+            micro_ops=self.micro_ops,
+            buffer_infos=grad_infos,
+            local_values=set(self.local_values),
+            schedule=self.schedule,
+            direction="backward",
+            source_ops=self.source_ops,
+        )
+        backward.uses_atomics = True
+        return [backward]
+
+    def describe(self) -> str:
+        ops = "; ".join(f"{op.output}={op.kind}({', '.join(op.inputs)})" for op in self.micro_ops)
+        return (
+            f"{self.name}: traversal over {self.domain.value} {self.schedule.describe()} "
+            f"atomics={self.uses_atomics} | {ops}"
+        )
+
+
+# ======================================================================
+# Fallback (PyTorch-call) kernels
+# ======================================================================
+class FallbackKernel(KernelInstance):
+    """An operator executed by the PyTorch-like runtime instead of generated code.
+
+    Hector assigns these the lowest preference level; the reproduction uses
+    them for the weight-weight products created by linear operator reordering
+    (computed with batched matmul over the type dimension) and any other
+    operator the two templates do not cover.
+    """
+
+    category = "fallback"
+
+    def __init__(
+        self,
+        name: str,
+        op_kind: str,
+        inputs: Sequence[Tuple[str, ValueInfo]],
+        output: Tuple[str, ValueInfo],
+        flop_count: float,
+        api_calls: int = 1,
+        direction: str = "forward",
+        attrs: Optional[Dict[str, object]] = None,
+    ):
+        super().__init__(name, direction)
+        self.op_kind = op_kind
+        self.inputs = list(inputs)
+        self.output = output
+        self._flops = float(flop_count)
+        self.api_calls = api_calls
+        self.attrs = attrs or {}
+
+    def rows(self, workload) -> int:
+        return _rows_of_space(self.output[1].space, workload)
+
+    def flops(self, workload) -> float:
+        return self._flops
+
+    def bytes_read(self, workload) -> float:
+        return sum(info.num_bytes(workload) for _, info in self.inputs)
+
+    def bytes_written(self, workload) -> float:
+        return self.output[1].num_bytes(workload)
+
+    def launches(self, workload) -> int:
+        return self.api_calls
+
+    def read_buffers(self) -> List[str]:
+        return [name for name, _ in self.inputs]
+
+    def written_buffers(self) -> List[str]:
+        return [self.output[0]]
+
+    def emit_backward(self) -> List[KernelInstance]:
+        grad_inputs = [(f"grad_{self.output[0]}", self.output[1])] + list(self.inputs)
+        grad_output = (f"grad_{self.inputs[0][0]}", self.inputs[0][1])
+        backward = FallbackKernel(
+            name=f"{self.name}_bwd",
+            op_kind=f"{self.op_kind}_backward",
+            inputs=grad_inputs,
+            output=grad_output,
+            flop_count=self._flops * 2,
+            api_calls=self.api_calls * 2,
+            direction="backward",
+            attrs=dict(self.attrs),
+        )
+        return [backward]
+
+    def describe(self) -> str:
+        return f"{self.name}: fallback {self.op_kind} ({self.output[0]})"

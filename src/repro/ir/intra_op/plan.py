@@ -1,0 +1,148 @@
+"""The kernel plan: the lowered form of one RGNN layer.
+
+A :class:`KernelPlan` is what the code generator consumes: an ordered list of
+forward kernel instances, their paired backward instances, buffer metadata,
+and bookkeeping about which values were compacted or fused away.  The GPU cost
+model, the memory/OOM model, and the runtime executor all operate on plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.ir.inter_op.space import Space, ValueInfo
+from repro.ir.intra_op.kernels import FallbackKernel, GemmKernel, KernelInstance, TraversalKernel
+
+
+@dataclass
+class KernelPlan:
+    """Lowered kernels plus buffer metadata for one layer.
+
+    Attributes:
+        name: plan name (model + optimization configuration).
+        forward_kernels: kernels executed in forward propagation, in order.
+        backward_kernels: kernels executed in backward propagation, in order.
+        buffers: metadata of every global buffer (inputs, parameters,
+            intermediates, outputs).
+        parameter_names / input_names / output_names: role bookkeeping.
+        fused_values: intermediate values eliminated from global memory by
+            kernel fusion (not charged footprint or traffic).
+        metadata: propagated inter-op program metadata (applied passes,
+            compacted values, …).
+    """
+
+    name: str
+    forward_kernels: List[KernelInstance] = field(default_factory=list)
+    backward_kernels: List[KernelInstance] = field(default_factory=list)
+    buffers: Dict[str, ValueInfo] = field(default_factory=dict)
+    parameter_names: List[str] = field(default_factory=list)
+    input_names: List[str] = field(default_factory=list)
+    output_names: List[str] = field(default_factory=list)
+    fused_values: Set[str] = field(default_factory=set)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # kernel queries
+    # ------------------------------------------------------------------
+    def kernels(self, direction: str = "forward") -> List[KernelInstance]:
+        """Kernels of one direction (``"forward"``, ``"backward"``, or ``"all"``)."""
+        if direction == "forward":
+            return list(self.forward_kernels)
+        if direction == "backward":
+            return list(self.backward_kernels)
+        if direction == "all":
+            return list(self.forward_kernels) + list(self.backward_kernels)
+        raise ValueError(f"unknown direction {direction!r}")
+
+    def kernels_by_category(self, direction: str = "forward") -> Dict[str, List[KernelInstance]]:
+        """Group kernels by template category (gemm / traversal / fallback)."""
+        groups: Dict[str, List[KernelInstance]] = {"gemm": [], "traversal": [], "fallback": []}
+        for kernel in self.kernels(direction):
+            groups.setdefault(kernel.category, []).append(kernel)
+        return groups
+
+    def num_kernel_launches(self, workload, direction: str = "forward") -> int:
+        """Total device kernel launches for one pass over the layer."""
+        return sum(kernel.launches(workload) for kernel in self.kernels(direction))
+
+    def total_flops(self, workload, direction: str = "forward") -> float:
+        return sum(kernel.flops(workload) for kernel in self.kernels(direction))
+
+    def total_bytes(self, workload, direction: str = "forward") -> float:
+        return sum(
+            kernel.bytes_read(workload) + kernel.bytes_written(workload)
+            for kernel in self.kernels(direction)
+        )
+
+    # ------------------------------------------------------------------
+    # memory model
+    # ------------------------------------------------------------------
+    def materialized_buffers(self) -> List[ValueInfo]:
+        """Buffers that occupy global device memory (fused temporaries excluded)."""
+        return [info for name, info in self.buffers.items() if name not in self.fused_values]
+
+    def memory_bytes(self, workload, training: bool = False) -> float:
+        """Peak device-memory footprint of one pass under a workload.
+
+        Inference holds inputs, parameters, and all materialised
+        intermediates.  Training additionally holds a gradient buffer for
+        every materialised value (the backward pass reads forward
+        intermediates, so they cannot be freed early), which is how weight
+        replication in baselines inflates training memory (Section 4.2).
+        """
+        total = 0.0
+        for info in self.materialized_buffers():
+            total += info.num_bytes(workload)
+        if training:
+            for info in self.materialized_buffers():
+                total += info.num_bytes(workload)
+        # Graph structure arrays: COO src/dst/etype plus segment pointers.
+        total += 3 * workload.num_edges * 8
+        if self.metadata.get("compaction_enabled"):
+            total += workload.num_edges * 8 + workload.num_unique_pairs * 16
+        return total
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        """Compact description used by tests and reports."""
+        categories = self.kernels_by_category("forward")
+        return {
+            "name": self.name,
+            "num_forward_kernels": len(self.forward_kernels),
+            "num_backward_kernels": len(self.backward_kernels),
+            "num_gemm_kernels": len(categories["gemm"]),
+            "num_traversal_kernels": len(categories["traversal"]),
+            "num_fallback_kernels": len(categories["fallback"]),
+            "num_buffers": len(self.buffers),
+            "num_fused_values": len(self.fused_values),
+            "compaction_enabled": bool(self.metadata.get("compaction_enabled", False)),
+            "applied_passes": list(self.metadata.get("applied_passes", [])),
+        }
+
+    def dump(self) -> str:
+        """Readable listing of the plan's kernels."""
+        lines = [f"kernel plan {self.name}"]
+        lines.append("  forward:")
+        for kernel in self.forward_kernels:
+            lines.append(f"    {kernel.describe()}")
+        lines.append("  backward:")
+        for kernel in self.backward_kernels:
+            lines.append(f"    {kernel.describe()}")
+        return "\n".join(lines)
+
+    def validate(self) -> None:
+        """Structural checks: every kernel buffer has metadata, outputs are written."""
+        for kernel in self.kernels("all"):
+            for name in kernel.read_buffers() + kernel.written_buffers():
+                base = name[5:] if name.startswith("grad_") else name
+                if base not in self.buffers:
+                    raise ValueError(f"kernel {kernel.name} references unknown buffer {name!r}")
+        written = set()
+        for kernel in self.forward_kernels:
+            written.update(kernel.written_buffers())
+        for output in self.output_names:
+            if output not in written and output not in self.input_names:
+                raise ValueError(f"plan output {output!r} is never written by a forward kernel")

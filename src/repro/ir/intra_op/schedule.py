@@ -1,0 +1,85 @@
+"""Operator-specific schedules (Section 3.4.1).
+
+Each GEMM-template instance can choose a tile size, a thread coarsening factor
+in {1, 2, 4}, and a ``__launch_bounds__`` register cap; traversal-template
+instances choose their work assignment (edges or nodes per thread block) and
+whether partial-result aggregation (accumulate within a thread/warp before the
+atomic update) is applied.  The schedules do not change results; they feed the
+GPU cost model's efficiency estimates and are embedded in the generated code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+#: Coarsening factors the GEMM template supports (Section 3.4.1).
+ALLOWED_COARSENING = (1, 2, 4)
+
+
+@dataclass
+class GemmSchedule:
+    """Schedule of a GEMM-template instance.
+
+    Attributes:
+        tile_size: square shared-memory tile width (the paper's default is 16).
+        coarsening: elements per thread in load/compute/store (1, 2, or 4).
+        launch_bounds: optional register-limiting launch bound.
+        per_row_scalar: name of a per-row scalar fused into the epilogue
+            (weighted aggregation fusion), or ``None``.
+    """
+
+    tile_size: int = 16
+    coarsening: int = 1
+    launch_bounds: Optional[int] = None
+    per_row_scalar: Optional[str] = None
+
+    def __post_init__(self):
+        if self.tile_size <= 0:
+            raise ValueError("tile_size must be positive")
+        if self.coarsening not in ALLOWED_COARSENING:
+            raise ValueError(f"coarsening must be one of {ALLOWED_COARSENING}")
+
+    def threads_per_block(self) -> int:
+        """Threads per block after coarsening shrinks the thread count."""
+        return max(32, (self.tile_size * self.tile_size) // self.coarsening)
+
+    def describe(self) -> str:
+        parts = [f"tile_sz: {self.tile_size}"]
+        if self.coarsening != 1:
+            parts.append(f"coarsen: {self.coarsening}")
+        if self.launch_bounds:
+            parts.append(f"launch_bounds: {self.launch_bounds}")
+        if self.per_row_scalar:
+            parts.append(f"row_scalar: {self.per_row_scalar}")
+        return "{" + ", ".join(parts) + "}"
+
+
+@dataclass
+class TraversalSchedule:
+    """Schedule of a traversal-template instance.
+
+    Attributes:
+        rows_per_block: outer-loop iterations (edges or nodes) per thread block.
+        threads_per_row: threads cooperating on one row's feature dimension.
+        partial_aggregation: accumulate partial results within a thread/warp
+            before issuing atomic adds to global memory (Section 3.4.1).
+    """
+
+    rows_per_block: int = 128
+    threads_per_row: int = 32
+    partial_aggregation: bool = True
+
+    def __post_init__(self):
+        if self.rows_per_block <= 0 or self.threads_per_row <= 0:
+            raise ValueError("schedule sizes must be positive")
+
+    def threads_per_block(self) -> int:
+        return min(1024, self.rows_per_block * self.threads_per_row)
+
+    def describe(self) -> str:
+        return (
+            f"{{rows/block: {self.rows_per_block}, threads/row: {self.threads_per_row}, "
+            f"partial_agg: {self.partial_aggregation}}}"
+        )

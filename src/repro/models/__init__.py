@@ -1,0 +1,58 @@
+"""RGNN models: Hector-IR definitions and reference implementations.
+
+Each model module provides
+
+* ``build_*_program(in_dim, out_dim)`` — the model expressed in the
+  inter-operator level IR (the "51 lines of code" input to the compiler), and
+* a ``*Reference`` module — the same layer implemented directly on the tensor
+  substrate (gather / typed linear / edge softmax / scatter), used as the
+  numerical ground truth for the generated kernels and as the computational
+  core of the baseline system simulators.
+"""
+
+from typing import Callable, Dict
+
+from repro.ir.inter_op.program import InterOpProgram
+from repro.models.rgcn import RGCNReference, build_rgcn_program
+from repro.models.rgat import RGATReference, build_rgat_program
+from repro.models.hgt import HGTReference, build_hgt_program
+
+#: Registry of inter-op IR builders keyed by model name.
+MODEL_BUILDERS: Dict[str, Callable[..., InterOpProgram]] = {
+    "rgcn": build_rgcn_program,
+    "rgat": build_rgat_program,
+    "hgt": build_hgt_program,
+}
+
+#: Registry of reference implementations keyed by model name.
+REFERENCE_CLASSES = {
+    "rgcn": RGCNReference,
+    "rgat": RGATReference,
+    "hgt": HGTReference,
+}
+
+#: Models evaluated in the paper, in figure order.
+MODEL_NAMES = ["rgcn", "rgat", "hgt"]
+
+
+def build_program(model: str, in_dim: int = 64, out_dim: int = 64) -> InterOpProgram:
+    """Build the inter-op IR program of a named model."""
+    try:
+        builder = MODEL_BUILDERS[model]
+    except KeyError:
+        raise KeyError(f"unknown model {model!r}; known: {sorted(MODEL_BUILDERS)}") from None
+    return builder(in_dim=in_dim, out_dim=out_dim)
+
+
+__all__ = [
+    "MODEL_BUILDERS",
+    "REFERENCE_CLASSES",
+    "MODEL_NAMES",
+    "build_program",
+    "build_rgcn_program",
+    "build_rgat_program",
+    "build_hgt_program",
+    "RGCNReference",
+    "RGATReference",
+    "HGTReference",
+]

@@ -1,0 +1,60 @@
+"""Shared utilities of the reference model implementations."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.graph.hetero_graph import HeteroGraph
+from repro.tensor import init as tensor_init
+from repro.tensor.nn import Module, Parameter
+from repro.tensor.tensor import Tensor
+
+
+class ReferenceRGNNLayer(Module):
+    """Base class of the reference (tensor-substrate) RGNN layers.
+
+    Parameters are stored by the same names as the corresponding compiled
+    plan's weight buffers so that tests can copy weights between the compiled
+    module and the reference and compare outputs exactly.
+    """
+
+    def __init__(self, graph: HeteroGraph, in_dim: int, out_dim: int, seed: int = 0):
+        super().__init__()
+        self.graph = graph
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self._seed = seed
+
+    # ------------------------------------------------------------------
+    def _add_parameter(self, name: str, shape, offset: int) -> Parameter:
+        parameter = Parameter(tensor_init.xavier_uniform(shape, seed=self._seed + offset))
+        setattr(self, name, parameter)
+        return parameter
+
+    def named_parameter_dict(self) -> Dict[str, Parameter]:
+        """Parameters keyed by their plan buffer names."""
+        return {name: param for name, param in self.named_parameters()}
+
+    def load_parameters(self, values: Mapping[str, np.ndarray]) -> None:
+        """Overwrite parameters in place from arrays keyed by buffer name."""
+        own = self.named_parameter_dict()
+        for name, array in values.items():
+            if name not in own:
+                raise KeyError(f"unknown parameter {name!r}; known: {sorted(own)}")
+            array = np.asarray(array, dtype=np.float64)
+            if own[name].shape != array.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: expected {own[name].shape}, got {array.shape}"
+                )
+            own[name].data[...] = array
+
+    # ------------------------------------------------------------------
+    def _as_tensor(self, features) -> Tensor:
+        if isinstance(features, Tensor):
+            return features
+        return Tensor(np.asarray(features, dtype=np.float64))
+
+    def forward(self, features) -> Dict[str, Tensor]:  # pragma: no cover - abstract
+        raise NotImplementedError

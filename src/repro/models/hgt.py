@@ -1,0 +1,108 @@
+"""Heterogeneous graph transformer (HGT), Hu et al.
+
+Single-head layer following Figure 2 of the paper (simplified to one head,
+as in the paper's evaluation)::
+
+    K[n]     = h[n] @ W_K[ntype(n)]               # nodewise projections
+    Q[n]     = h[n] @ W_Q[ntype(n)]
+    V[n]     = h[n] @ W_V[ntype(n)]
+    k_att[e] = K[src(e)] @ W_ATT[etype(e)]        # edgewise typed linear
+    att[e]   = edge_softmax( <k_att[e], Q[dst(e)]> / sqrt(d) )
+    msg[e]   = V[src(e)] @ W_MSG[etype(e)]        # edgewise typed linear
+    agg[v]   = sum_{e -> v} att[e] * msg[e]
+    h_out[v] = agg[v] @ W_O[ntype(v)]  (+ h[v] residual when dims match)
+
+Linear operator reordering collapses ``K`` followed by ``W_ATT`` into a single
+per-edge-type weight product; compact materialization stores ``k_att`` and
+``msg`` per unique ``(source node, edge type)`` pair.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+import numpy as np
+
+from repro.graph.hetero_graph import HeteroGraph
+from repro.ir.inter_op.builder import ProgramBuilder
+from repro.ir.inter_op.program import InterOpProgram
+from repro.ir.inter_op.space import LoopContext, NodeBinding, TypeSelector
+from repro.models.common import ReferenceRGNNLayer
+from repro.tensor import ops
+from repro.tensor.tensor import Tensor
+
+
+def build_hgt_program(in_dim: int = 64, out_dim: int = 64) -> InterOpProgram:
+    """Single-headed HGT layer in the Hector inter-operator level IR."""
+    g = ProgramBuilder("hgt", in_dim=in_dim, out_dim=out_dim)
+    hidden = out_dim
+    h = g.input_node_feature("h")
+    W_K = g.weight("W_K", (in_dim, hidden), per_type="node_type")
+    W_Q = g.weight("W_Q", (in_dim, hidden), per_type="node_type")
+    W_V = g.weight("W_V", (in_dim, hidden), per_type="node_type")
+    W_ATT = g.weight("W_ATT", (hidden, hidden), per_type="edge_type")
+    W_MSG = g.weight("W_MSG", (hidden, hidden), per_type="edge_type")
+    W_O = g.weight("W_O", (hidden, out_dim), per_type="node_type")
+    # Nodewise typed projections into the shared semantic space.
+    K = g.typed_linear(h, W_K, "K", type_selector=TypeSelector.SELF_NODE_TYPE,
+                       context=LoopContext.NODEWISE)
+    Q = g.typed_linear(h, W_Q, "Q", type_selector=TypeSelector.SELF_NODE_TYPE,
+                       context=LoopContext.NODEWISE)
+    V = g.typed_linear(h, W_V, "V", type_selector=TypeSelector.SELF_NODE_TYPE,
+                       context=LoopContext.NODEWISE)
+    # Edge attention: dot of the relation-projected key with the destination query.
+    k_att = g.typed_linear(K, W_ATT, "k_att", binding=NodeBinding.SRC)
+    att_raw = g.dot_product(k_att, Q, "att_raw", bindings={Q: NodeBinding.DST})
+    att_scaled = g.unary("scale_const", att_raw, "att_scaled", constant=1.0 / math.sqrt(hidden))
+    att = g.edge_softmax(att_scaled, "att")
+    # Edge messages and attention-weighted aggregation.
+    msg = g.typed_linear(V, W_MSG, "msg", binding=NodeBinding.SRC)
+    agg = g.aggregate(msg, "agg", scale=att)
+    # Output projection by destination node type, plus residual when dims match.
+    out_proj = g.typed_linear(agg, W_O, "out_proj", type_selector=TypeSelector.SELF_NODE_TYPE,
+                              context=LoopContext.NODEWISE)
+    if in_dim == out_dim:
+        h_out = g.binary("add", out_proj, h, "h_out", context=LoopContext.NODEWISE)
+    else:
+        h_out = g.copy(out_proj, "h_out")
+    g.mark_output(h_out)
+    return g.finish()
+
+
+class HGTReference(ReferenceRGNNLayer):
+    """Reference single-head HGT layer on the tensor substrate."""
+
+    def __init__(self, graph: HeteroGraph, in_dim: int = 64, out_dim: int = 64, seed: int = 0):
+        super().__init__(graph, in_dim, out_dim, seed)
+        hidden = out_dim
+        self.hidden_dim = hidden
+        self._add_parameter("W_K", (graph.num_node_types, in_dim, hidden), offset=0)
+        self._add_parameter("W_Q", (graph.num_node_types, in_dim, hidden), offset=1)
+        self._add_parameter("W_V", (graph.num_node_types, in_dim, hidden), offset=2)
+        self._add_parameter("W_ATT", (graph.num_edge_types, hidden, hidden), offset=3)
+        self._add_parameter("W_MSG", (graph.num_edge_types, hidden, hidden), offset=4)
+        self._add_parameter("W_O", (graph.num_node_types, hidden, out_dim), offset=5)
+
+    def forward(self, features) -> Dict[str, Tensor]:
+        """Compute the HGT layer output (attention, messages, output projection)."""
+        graph = self.graph
+        h = self._as_tensor(features)
+        ntype = graph.node_type_ids
+        etype = graph.edge_type
+        K = ops.typed_linear(h, self.W_K, ntype, strategy="loop")
+        Q = ops.typed_linear(h, self.W_Q, ntype, strategy="loop")
+        V = ops.typed_linear(h, self.W_V, ntype, strategy="loop")
+        K_src = ops.gather_rows(K, graph.edge_src)
+        Q_dst = ops.gather_rows(Q, graph.edge_dst)
+        V_src = ops.gather_rows(V, graph.edge_src)
+        k_att = ops.typed_linear(K_src, self.W_ATT, etype, strategy="loop")
+        att_logits = ops.dot_product(k_att, Q_dst) * (1.0 / math.sqrt(self.hidden_dim))
+        att = ops.edge_softmax(att_logits, graph.edge_dst, graph.num_nodes)
+        msg = ops.typed_linear(V_src, self.W_MSG, etype, strategy="loop")
+        weighted = msg * att.reshape(-1, 1)
+        agg = ops.scatter_add(weighted, graph.edge_dst, graph.num_nodes)
+        out_proj = ops.typed_linear(agg, self.W_O, ntype, strategy="loop")
+        if self.in_dim == self.out_dim:
+            return {"h_out": out_proj + h}
+        return {"h_out": out_proj}

@@ -1,0 +1,14 @@
+"""Hector runtime: graph context, kernel executor, memory tracking, compiled modules."""
+
+from repro.runtime.context import GraphContext
+from repro.runtime.executor import PlanExecutor
+from repro.runtime.memory import MemoryModel, OutOfMemoryError
+from repro.runtime.module import CompiledRGNNModule
+
+__all__ = [
+    "GraphContext",
+    "PlanExecutor",
+    "MemoryModel",
+    "OutOfMemoryError",
+    "CompiledRGNNModule",
+]

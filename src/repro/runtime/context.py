@@ -1,0 +1,98 @@
+"""Graph context: the index arrays generated kernels read.
+
+This is the runtime counterpart of the paper's "layout choices" box in
+Figure 5: the COO arrays (``row_idx`` / ``col_idx`` / edge types), edges
+presorted by type (``etype_ptr`` + permutation), nodes grouped by type
+(``ntype_ptr``), the compact-materialization mapping (``unique_row_idx``,
+``unique_etype_ptr``, ``edge_to_unique``), and the canonical edge-type →
+endpoint-node-type maps used to resolve per-source/destination-node-type
+weights inside edge-type segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.graph.hetero_graph import HeteroGraph
+
+
+@dataclass
+class GraphContext:
+    """Precomputed index arrays for one heterogeneous graph."""
+
+    num_nodes: int
+    num_edges: int
+    num_etypes: int
+    num_ntypes: int
+    num_unique: int
+    edge_src: np.ndarray
+    edge_dst: np.ndarray
+    edge_type: np.ndarray
+    etype_perm: np.ndarray
+    etype_ptr: np.ndarray
+    node_type_ids: np.ndarray
+    ntype_ptr: np.ndarray
+    unique_src: np.ndarray
+    unique_etype: np.ndarray
+    unique_etype_ptr: np.ndarray
+    edge_to_unique: np.ndarray
+    etype_to_src_ntype: np.ndarray
+    etype_to_dst_ntype: np.ndarray
+
+    @classmethod
+    def from_graph(cls, graph: HeteroGraph) -> "GraphContext":
+        """Run the preprocessing the generated code requires on a graph."""
+        segments = graph.edge_segments
+        compaction = graph.compaction
+        etype_to_src = np.zeros(graph.num_edge_types, dtype=np.int64)
+        etype_to_dst = np.zeros(graph.num_edge_types, dtype=np.int64)
+        for etype, index in ((etype, graph.edge_type_id(etype)) for etype in graph.canonical_etypes):
+            src_type, _, dst_type = etype
+            etype_to_src[index] = graph.node_type_id(src_type)
+            etype_to_dst[index] = graph.node_type_id(dst_type)
+        return cls(
+            num_nodes=graph.num_nodes,
+            num_edges=graph.num_edges,
+            num_etypes=graph.num_edge_types,
+            num_ntypes=graph.num_node_types,
+            num_unique=compaction.num_unique,
+            edge_src=graph.edge_src,
+            edge_dst=graph.edge_dst,
+            edge_type=graph.edge_type,
+            etype_perm=segments.permutation,
+            etype_ptr=segments.offsets,
+            node_type_ids=graph.node_type_ids,
+            ntype_ptr=graph.node_type_offsets,
+            unique_src=compaction.unique_src,
+            unique_etype=compaction.unique_etype,
+            unique_etype_ptr=compaction.unique_etype_ptr,
+            edge_to_unique=compaction.edge_to_unique,
+            etype_to_src_ntype=etype_to_src,
+            etype_to_dst_ntype=etype_to_dst,
+        )
+
+    def degree_normalization(self) -> np.ndarray:
+        """Per-edge ``1 / c_{v,r}`` factors (RGCN normalisation)."""
+        keys = self.edge_dst * self.num_etypes + self.edge_type
+        _, inverse, counts = np.unique(keys, return_inverse=True, return_counts=True)
+        return 1.0 / counts[inverse].astype(np.float64)
+
+    def index_array_bytes(self) -> int:
+        """Device memory occupied by the index arrays (for the memory model)."""
+        arrays = [
+            self.edge_src,
+            self.edge_dst,
+            self.edge_type,
+            self.etype_perm,
+            self.etype_ptr,
+            self.node_type_ids,
+            self.ntype_ptr,
+            self.unique_src,
+            self.unique_etype,
+            self.unique_etype_ptr,
+            self.edge_to_unique,
+        ]
+        return int(sum(a.nbytes for a in arrays))

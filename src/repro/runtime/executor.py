@@ -1,0 +1,82 @@
+"""Executes generated kernel plans on numpy buffers."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+import numpy as np
+
+from repro.ir.codegen.python_backend import GeneratedModule
+from repro.ir.intra_op.plan import KernelPlan
+from repro.runtime.context import GraphContext
+
+
+class PlanExecutor:
+    """Runs the generated forward and backward kernels of a plan.
+
+    The executor owns no state beyond the plan and its generated functions;
+    callers pass the buffer environment explicitly, which makes it easy for
+    tests to inspect every intermediate value.
+    """
+
+    def __init__(self, plan: KernelPlan, generated: GeneratedModule):
+        self.plan = plan
+        self.generated = generated
+
+    # ------------------------------------------------------------------
+    def run_forward(self, env: Dict[str, np.ndarray], ctx: GraphContext) -> Dict[str, np.ndarray]:
+        """Execute all forward kernels in order; returns the same ``env``.
+
+        Args:
+            env: buffer environment pre-populated with the plan's inputs and
+                parameters (names from ``plan.input_names`` / ``plan.parameter_names``).
+            ctx: graph context with the index arrays the access schemes read.
+        """
+        self._check_inputs(env)
+        for kernel in self.plan.forward_kernels:
+            self.generated.forward_functions[kernel.name](env, ctx)
+        return env
+
+    def run_backward(
+        self,
+        env: Dict[str, np.ndarray],
+        ctx: GraphContext,
+        output_grads: Mapping[str, np.ndarray],
+    ) -> Dict[str, np.ndarray]:
+        """Execute all backward kernels; returns ``env`` with ``grad_*`` buffers.
+
+        Args:
+            env: the environment returned by :meth:`run_forward` (backward
+                kernels read forward intermediates).
+            ctx: graph context.
+            output_grads: gradient of the objective w.r.t. each plan output.
+        """
+        # Seed gradients: outputs from the caller, every other forward-written
+        # buffer with zeros so adjoint kernels can accumulate unconditionally.
+        for name, grad in output_grads.items():
+            if name not in env:
+                raise KeyError(f"output {name!r} not present in the forward environment")
+            env[f"grad_{name}"] = np.array(grad, dtype=np.float64, copy=True)
+        for kernel in self.plan.forward_kernels:
+            for name in kernel.written_buffers():
+                grad_name = f"grad_{name}"
+                if grad_name not in env and name in env:
+                    env[grad_name] = np.zeros_like(env[name], dtype=np.float64)
+        for kernel in self.plan.backward_kernels:
+            self.generated.backward_functions[kernel.name](env, ctx)
+        return env
+
+    # ------------------------------------------------------------------
+    def parameter_gradients(self, env: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Extract per-parameter gradients from an environment after backward."""
+        grads: Dict[str, np.ndarray] = {}
+        for name in self.plan.parameter_names:
+            grad = env.get(f"grad_{name}")
+            if grad is not None:
+                grads[name] = grad
+        return grads
+
+    def _check_inputs(self, env: Mapping[str, np.ndarray]) -> None:
+        missing = [name for name in self.plan.input_names + self.plan.parameter_names if name not in env]
+        if missing:
+            raise KeyError(f"forward environment is missing buffers: {missing}")

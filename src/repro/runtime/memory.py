@@ -1,0 +1,80 @@
+"""Device-memory model and OOM simulation.
+
+The paper's evaluation repeatedly hits out-of-memory errors in baseline
+systems (Figure 8, Table 4) and shows that Hector's memory efficiency — no
+weight replication, compact materialization — is what lets it run every
+dataset.  This module provides the accounting used for those comparisons: a
+:class:`MemoryModel` that sums the buffers a system materialises under a
+workload and raises :class:`OutOfMemoryError` when the device capacity is
+exceeded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when a plan's footprint exceeds the device memory capacity."""
+
+    def __init__(self, required_bytes: float, capacity_bytes: float, label: str = ""):
+        self.required_bytes = float(required_bytes)
+        self.capacity_bytes = float(capacity_bytes)
+        self.label = label
+        super().__init__(
+            f"out of memory{f' ({label})' if label else ''}: "
+            f"requires {required_bytes / 2**30:.2f} GiB, device has {capacity_bytes / 2**30:.2f} GiB"
+        )
+
+
+@dataclass
+class MemoryModel:
+    """Tracks allocations against a device capacity.
+
+    Attributes:
+        capacity_bytes: device memory capacity (RTX 3090: 24 GiB).
+        allocations: label → bytes currently allocated.
+    """
+
+    capacity_bytes: float = 24 * 2**30
+    allocations: Dict[str, float] = field(default_factory=dict)
+    _peak: float = 0.0
+
+    def allocate(self, label: str, num_bytes: float) -> None:
+        """Record an allocation; raises :class:`OutOfMemoryError` if over capacity."""
+        if num_bytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        self.allocations[label] = self.allocations.get(label, 0.0) + float(num_bytes)
+        total = self.total_allocated()
+        self._peak = max(self._peak, total)
+        if total > self.capacity_bytes:
+            raise OutOfMemoryError(total, self.capacity_bytes, label)
+
+    def free(self, label: str) -> None:
+        """Release an allocation."""
+        self.allocations.pop(label, None)
+
+    def total_allocated(self) -> float:
+        return float(sum(self.allocations.values()))
+
+    def peak_allocated(self) -> float:
+        return self._peak
+
+    def would_fit(self, num_bytes: float) -> bool:
+        """Whether an additional allocation would fit."""
+        return self.total_allocated() + num_bytes <= self.capacity_bytes
+
+    def reset(self) -> None:
+        self.allocations.clear()
+        self._peak = 0.0
+
+
+def check_footprint(total_bytes: float, capacity_bytes: float, label: str = "") -> float:
+    """Raise :class:`OutOfMemoryError` if ``total_bytes`` exceeds the capacity.
+
+    Returns the footprint so callers can chain the check into reports.
+    """
+    if total_bytes > capacity_bytes:
+        raise OutOfMemoryError(total_bytes, capacity_bytes, label)
+    return total_bytes

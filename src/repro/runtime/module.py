@@ -1,0 +1,156 @@
+"""Compiled RGNN modules: parameters + generated kernels bound to a graph.
+
+This is the runtime object the frontend returns from compilation, playing the
+role of the PyTorch ``autograd.Function`` subclasses the real Hector registers:
+it owns the layer's parameters, fills the buffer environment, runs the
+generated forward kernels, and (for training) the paired backward kernels that
+produce parameter gradients.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.graph.hetero_graph import HeteroGraph
+from repro.ir.codegen.python_backend import GeneratedModule
+from repro.ir.inter_op.space import Space, ValueInfo
+from repro.ir.intra_op.plan import KernelPlan
+from repro.runtime.context import GraphContext
+from repro.runtime.executor import PlanExecutor
+from repro.tensor import init as tensor_init
+from repro.tensor.nn import Parameter
+
+
+class CompiledRGNNModule:
+    """A compiled RGNN layer bound to a specific heterogeneous graph.
+
+    Args:
+        plan: the lowered kernel plan.
+        generated: the Python backend's generated kernels for that plan.
+        graph: the graph the module is specialised for (its node/edge type
+            counts determine parameter shapes; its index arrays feed the
+            generated access schemes).
+        seed: RNG seed for parameter initialisation.
+    """
+
+    def __init__(
+        self,
+        plan: KernelPlan,
+        generated: GeneratedModule,
+        graph: HeteroGraph,
+        seed: int = 0,
+    ):
+        self.plan = plan
+        self.generated = generated
+        self.graph = graph
+        self.ctx = GraphContext.from_graph(graph)
+        self.executor = PlanExecutor(plan, generated)
+        self.parameters_by_name: Dict[str, Parameter] = {}
+        self._init_parameters(seed)
+        self._last_env: Optional[Dict[str, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    def _parameter_shape(self, info: ValueInfo) -> tuple:
+        if info.per_type == "edge_type":
+            return (self.graph.num_edge_types,) + tuple(info.feature_shape)
+        if info.per_type == "node_type":
+            return (self.graph.num_node_types,) + tuple(info.feature_shape)
+        return tuple(info.feature_shape)
+
+    def _init_parameters(self, seed: int) -> None:
+        for offset, name in enumerate(self.plan.parameter_names):
+            info = self.plan.buffers[name]
+            shape = self._parameter_shape(info)
+            self.parameters_by_name[name] = Parameter(tensor_init.xavier_uniform(shape, seed=seed + offset))
+
+    def parameters(self):
+        """All learnable parameters (list of :class:`Parameter`)."""
+        return list(self.parameters_by_name.values())
+
+    def num_parameters(self) -> int:
+        return int(sum(p.size for p in self.parameters()))
+
+    # ------------------------------------------------------------------
+    def _default_inputs(self) -> Dict[str, np.ndarray]:
+        """Inputs the module can derive from the graph itself (e.g. RGCN norm)."""
+        derived: Dict[str, np.ndarray] = {}
+        for name in self.plan.input_names:
+            if name == "norm":
+                derived[name] = self.ctx.degree_normalization()
+        return derived
+
+    def forward(self, node_features: np.ndarray, extra_inputs: Optional[Mapping[str, np.ndarray]] = None
+                ) -> Dict[str, np.ndarray]:
+        """Run the generated forward kernels.
+
+        Args:
+            node_features: ``(num_nodes, in_dim)`` feature matrix bound to the
+                plan's node-feature input.
+            extra_inputs: optional additional named inputs.
+
+        Returns:
+            Mapping from output value name to its numpy array.
+        """
+        node_features = np.asarray(node_features, dtype=np.float64)
+        if node_features.shape[0] != self.graph.num_nodes:
+            raise ValueError(
+                f"expected {self.graph.num_nodes} feature rows, got {node_features.shape[0]}"
+            )
+        env: Dict[str, np.ndarray] = {}
+        env.update(self._default_inputs())
+        if extra_inputs:
+            env.update({k: np.asarray(v, dtype=np.float64) for k, v in extra_inputs.items()})
+        feature_inputs = [
+            name for name in self.plan.input_names
+            if self.plan.buffers[name].space is Space.NODE and name not in env
+        ]
+        for name in feature_inputs:
+            env[name] = node_features
+        for name, parameter in self.parameters_by_name.items():
+            env[name] = parameter.data
+        self.executor.run_forward(env, self.ctx)
+        self._last_env = env
+        return {name: env[name] for name in self.plan.output_names}
+
+    __call__ = forward
+
+    def backward(self, output_grads: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Run the generated backward kernels and accumulate parameter gradients.
+
+        Args:
+            output_grads: gradient of the loss w.r.t. each output value.
+
+        Returns:
+            Mapping from parameter name to its gradient array (also accumulated
+            into each :class:`Parameter`'s ``.grad``).
+        """
+        if self._last_env is None:
+            raise RuntimeError("backward() called before forward()")
+        env = self.executor.run_backward(self._last_env, self.ctx, output_grads)
+        grads = self.executor.parameter_gradients(env)
+        for name, grad in grads.items():
+            parameter = self.parameters_by_name[name]
+            if parameter.grad is None:
+                parameter.grad = grad.copy()
+            else:
+                parameter.grad = parameter.grad + grad
+        return grads
+
+    def zero_grad(self) -> None:
+        """Clear parameter gradients."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    # ------------------------------------------------------------------
+    def generated_source(self) -> str:
+        """The generated Python kernel source for this module's plan."""
+        return self.generated.source
+
+    def summary(self) -> Dict[str, object]:
+        """Plan summary plus parameter count (for reports and tests)."""
+        info = self.plan.summary()
+        info["num_parameters"] = self.num_parameters()
+        info["graph"] = self.graph.name
+        return info

@@ -1,0 +1,66 @@
+"""Dense tensor substrate with reverse-mode automatic differentiation.
+
+The Hector paper builds on PyTorch (``libtorch`` tensors and
+``autograd.Function``).  This package provides the equivalent substrate used
+throughout the reproduction: a numpy-backed :class:`Tensor` with a reverse-mode
+autograd tape, a small neural-network module system (:mod:`repro.tensor.nn`),
+parameter initialisers, and optimizers.
+
+All baseline system simulators and the Hector runtime fall back to these
+tensors, and the numerical output of generated kernels is validated against
+reference implementations written with this package.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor import ops
+from repro.tensor import nn
+from repro.tensor import init
+from repro.tensor import optim
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "ops",
+    "nn",
+    "init",
+    "optim",
+    "tensor",
+    "zeros",
+    "ones",
+    "randn",
+]
+
+
+def tensor(data, requires_grad=False, dtype=None):
+    """Create a :class:`Tensor` from array-like data."""
+    return Tensor(data, requires_grad=requires_grad, dtype=dtype)
+
+
+def zeros(shape, requires_grad=False, dtype=None):
+    """Create a tensor filled with zeros."""
+    import numpy as np
+
+    return Tensor(np.zeros(shape, dtype=dtype or np.float64), requires_grad=requires_grad)
+
+
+def ones(shape, requires_grad=False, dtype=None):
+    """Create a tensor filled with ones."""
+    import numpy as np
+
+    return Tensor(np.ones(shape, dtype=dtype or np.float64), requires_grad=requires_grad)
+
+
+def randn(shape, requires_grad=False, rng=None, scale=1.0):
+    """Create a tensor with standard-normal entries.
+
+    Args:
+        shape: output shape.
+        requires_grad: whether gradients should be tracked.
+        rng: optional ``numpy.random.Generator`` for reproducibility.
+        scale: multiplier applied to the samples.
+    """
+    import numpy as np
+
+    generator = rng if rng is not None else np.random.default_rng()
+    return Tensor(generator.standard_normal(shape) * scale, requires_grad=requires_grad)

@@ -1,0 +1,60 @@
+"""Parameter initialisation helpers (Xavier/Glorot, Kaiming, uniform)."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def xavier_uniform(shape: Sequence[int], gain: float = 1.0, seed: Optional[int] = None) -> Tensor:
+    """Glorot/Xavier uniform initialisation.
+
+    The fan-in and fan-out are taken from the last two dimensions so that
+    stacked per-type weight tensors ``(num_types, in_dim, out_dim)`` are
+    initialised per matrix exactly as separate ``(in_dim, out_dim)`` weights
+    would be.
+    """
+    shape = tuple(int(s) for s in shape)
+    fan_in, fan_out = _fans(shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    data = _rng(seed).uniform(-bound, bound, size=shape)
+    return Tensor(data, requires_grad=True)
+
+
+def kaiming_uniform(shape: Sequence[int], a: float = math.sqrt(5), seed: Optional[int] = None) -> Tensor:
+    """Kaiming/He uniform initialisation (PyTorch's default for ``nn.Linear``)."""
+    shape = tuple(int(s) for s in shape)
+    fan_in, _ = _fans(shape)
+    gain = math.sqrt(2.0 / (1 + a ** 2))
+    bound = gain * math.sqrt(3.0 / fan_in)
+    data = _rng(seed).uniform(-bound, bound, size=shape)
+    return Tensor(data, requires_grad=True)
+
+
+def uniform(shape: Sequence[int], low: float = -0.1, high: float = 0.1, seed: Optional[int] = None) -> Tensor:
+    """Plain uniform initialisation in ``[low, high)``."""
+    data = _rng(seed).uniform(low, high, size=tuple(int(s) for s in shape))
+    return Tensor(data, requires_grad=True)
+
+
+def zeros(shape: Sequence[int]) -> Tensor:
+    """Zero initialisation (used for biases)."""
+    return Tensor(np.zeros(tuple(int(s) for s in shape)), requires_grad=True)
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 0:
+        return 1, 1
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = shape[-2]
+    fan_out = shape[-1]
+    return fan_in, fan_out

@@ -1,0 +1,226 @@
+"""Minimal neural-network module system on top of :class:`repro.tensor.Tensor`.
+
+Provides the pieces the RGNN reference implementations and baseline system
+simulators need: ``Parameter``, ``Module`` with recursive parameter discovery,
+``Linear``, ``TypedLinear`` (one weight per relation / node type), and
+``Dropout``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.tensor import init
+from repro.tensor import ops
+from repro.tensor.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor registered as a learnable parameter of a :class:`Module`."""
+
+    def __init__(self, data, requires_grad: bool = True):
+        if isinstance(data, Tensor):
+            data = data.data
+        super().__init__(data, requires_grad=requires_grad)
+
+
+class Module:
+    """Base class with recursive parameter and submodule registration."""
+
+    def __init__(self):
+        self._parameters: Dict[str, Parameter] = {}
+        self._modules: Dict[str, "Module"] = {}
+        self.training: bool = True
+
+    def __setattr__(self, name, value):
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    def parameters(self) -> List[Parameter]:
+        """Return all parameters of this module and its submodules."""
+        return [param for _, param in self.named_parameters()]
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(name, parameter)`` pairs recursively."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for mod_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{mod_name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and all submodules."""
+        yield self
+        for module in self._modules.values():
+            yield from module.modules()
+
+    def zero_grad(self) -> None:
+        """Reset gradients of all parameters."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively."""
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        """Set evaluation mode recursively."""
+        return self.train(False)
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(p.size for p in self.parameters())
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class ModuleList(Module):
+    """A list of submodules registered for parameter discovery."""
+
+    def __init__(self, modules=None):
+        super().__init__()
+        self._items: List[Module] = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        index = len(self._items)
+        self._items.append(module)
+        self._modules[str(index)] = module
+        return self
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self):
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - container only
+        raise RuntimeError("ModuleList is a container and cannot be called")
+
+
+class ModuleDict(Module):
+    """A string-keyed dictionary of submodules."""
+
+    def __init__(self, modules: Optional[Dict[str, Module]] = None):
+        super().__init__()
+        self._items: Dict[str, Module] = {}
+        for key, module in (modules or {}).items():
+            self[key] = module
+
+    def __setitem__(self, key: str, module: Module) -> None:
+        self._items[key] = module
+        self._modules[key] = module
+
+    def __getitem__(self, key: str) -> Module:
+        return self._items[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._items
+
+    def keys(self):
+        return self._items.keys()
+
+    def items(self):
+        return self._items.items()
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - container only
+        raise RuntimeError("ModuleDict is a container and cannot be called")
+
+
+class Linear(Module):
+    """Dense linear layer ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, seed: Optional[int] = None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), seed=seed))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x.matmul(self.weight)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class TypedLinear(Module):
+    """Type-dependent linear layer: one ``(in, out)`` weight per type.
+
+    This is the edgewise/nodewise typed linear layer that Section 2.3 of the
+    paper uses as its running example.  The ``strategy`` argument selects how
+    the computation is carried out on the tensor substrate and determines what
+    the GPU cost model charges for it:
+
+    * ``"segment"`` — segment MM over rows presorted by type (Hector / DGL
+      segmentMM path); requires ``segment_offsets``.
+    * ``"gather"`` — materialise a per-row weight tensor and run a batched
+      matmul (``FastRGCNConv`` path, extra weight replication).
+    * ``"loop"`` — one matmul per type (``RGCNConv`` / HeteroConv path, many
+      small kernels).
+    """
+
+    def __init__(
+        self,
+        num_types: int,
+        in_features: int,
+        out_features: int,
+        strategy: str = "segment",
+        seed: Optional[int] = None,
+    ):
+        super().__init__()
+        self.num_types = num_types
+        self.in_features = in_features
+        self.out_features = out_features
+        self.strategy = strategy
+        self.weight = Parameter(init.xavier_uniform((num_types, in_features, out_features), seed=seed))
+
+    def forward(self, x: Tensor, type_ids, segment_offsets=None) -> Tensor:
+        if self.strategy == "segment":
+            if segment_offsets is None:
+                segment_offsets = _offsets_from_sorted_types(type_ids, self.num_types)
+            return ops.segment_mm(x, self.weight, segment_offsets)
+        return ops.typed_linear(x, self.weight, type_ids, strategy=self.strategy)
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in evaluation mode."""
+
+    def __init__(self, p: float = 0.5, seed: Optional[int] = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        mask = (self._rng.random(x.shape) >= self.p).astype(x.data.dtype) / (1.0 - self.p)
+        return x * Tensor(mask)
+
+
+def _offsets_from_sorted_types(type_ids, num_types: int) -> np.ndarray:
+    """Compute segment offsets assuming ``type_ids`` is sorted ascending."""
+    ids = type_ids.data if isinstance(type_ids, Tensor) else np.asarray(type_ids)
+    ids = ids.astype(np.int64)
+    if ids.size > 1 and np.any(np.diff(ids) < 0):
+        raise ValueError("segment strategy requires rows presorted by type")
+    counts = np.bincount(ids, minlength=num_types)
+    offsets = np.zeros(num_types + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return offsets

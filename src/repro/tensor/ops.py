@@ -1,0 +1,273 @@
+"""Functional operations used by RGNN models and the baseline simulators.
+
+These functions implement, on top of :class:`repro.tensor.Tensor`, the message
+passing primitives the Hector paper discusses:
+
+* ``gather`` / ``scatter_add`` — the indexing and copying operations that the
+  paper identifies as a large share of baseline inference time (Figure 3).
+* ``segment_mm`` and ``typed_linear`` — the typed linear layer implemented via
+  segment matrix multiply (nodes/edges presorted by type) or via weight
+  gathering plus batched matrix multiply (the ``FastRGCNConv`` strategy that
+  materialises a per-edge weight tensor).
+* ``edge_softmax`` — softmax of per-edge attention scores grouped by
+  destination node.
+* ``spmm`` / ``sddmm`` — the sparse kernels that DGL-style systems lower
+  message passing onto.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, _maybe_make, _as_tensor
+
+
+def _index_array(indices) -> np.ndarray:
+    if isinstance(indices, Tensor):
+        indices = indices.data
+    return np.asarray(indices, dtype=np.int64)
+
+
+# ----------------------------------------------------------------------
+# gather / scatter
+# ----------------------------------------------------------------------
+def gather_rows(source: Tensor, indices) -> Tensor:
+    """Gather rows ``source[indices]`` along the first axis."""
+    return _as_tensor(source).index_select(indices)
+
+
+def scatter_add(values: Tensor, indices, num_targets: int) -> Tensor:
+    """Scatter-add row vectors into ``num_targets`` rows.
+
+    ``out[indices[i]] += values[i]`` — the aggregation primitive of message
+    passing.  The backward pass is a gather of the output gradient.
+    """
+    values = _as_tensor(values)
+    indices = _index_array(indices)
+    out_shape = (num_targets,) + values.shape[1:]
+    out_data = np.zeros(out_shape, dtype=values.data.dtype)
+    np.add.at(out_data, indices, values.data)
+
+    def backward(g):
+        return (g[indices],)
+
+    return _maybe_make(out_data, (values,), backward, "scatter_add")
+
+
+def scatter_mean(values: Tensor, indices, num_targets: int) -> Tensor:
+    """Scatter-mean row vectors into ``num_targets`` rows."""
+    values = _as_tensor(values)
+    indices = _index_array(indices)
+    counts = np.bincount(indices, minlength=num_targets).astype(values.data.dtype)
+    counts = np.maximum(counts, 1.0)
+    summed = scatter_add(values, indices, num_targets)
+    return summed / Tensor(counts.reshape(-1, *([1] * (values.ndim - 1))))
+
+
+# ----------------------------------------------------------------------
+# typed / segment matrix multiply
+# ----------------------------------------------------------------------
+def segment_mm(features: Tensor, weights: Tensor, segment_offsets: Sequence[int]) -> Tensor:
+    """Segment matrix multiply: rows presorted by type, one weight per segment.
+
+    Args:
+        features: ``(N, in_dim)`` rows sorted so that rows of the same type are
+            contiguous.
+        weights: ``(num_types, in_dim, out_dim)`` stacked weight matrices.
+        segment_offsets: length ``num_types + 1`` prefix-sum of segment sizes.
+
+    Returns:
+        ``(N, out_dim)`` transformed rows.
+    """
+    features = _as_tensor(features)
+    weights = _as_tensor(weights)
+    offsets = np.asarray(segment_offsets, dtype=np.int64)
+    num_types = weights.shape[0]
+    if len(offsets) != num_types + 1:
+        raise ValueError(
+            f"segment_offsets must have length num_types + 1 = {num_types + 1}, got {len(offsets)}"
+        )
+    if offsets[-1] != features.shape[0]:
+        raise ValueError("segment_offsets must cover all feature rows")
+
+    out_data = np.empty((features.shape[0], weights.shape[2]), dtype=features.data.dtype)
+    for t in range(num_types):
+        start, end = offsets[t], offsets[t + 1]
+        if end > start:
+            out_data[start:end] = features.data[start:end] @ weights.data[t]
+
+    def backward(g):
+        grad_features = np.empty_like(features.data)
+        grad_weights = np.zeros_like(weights.data)
+        for t in range(num_types):
+            start, end = offsets[t], offsets[t + 1]
+            if end > start:
+                grad_features[start:end] = g[start:end] @ weights.data[t].T
+                grad_weights[t] = features.data[start:end].T @ g[start:end]
+            else:
+                pass
+        return (grad_features, grad_weights)
+
+    return _maybe_make(out_data, (features, weights), backward, "segment_mm")
+
+
+def gather_weights(weights: Tensor, type_ids) -> Tensor:
+    """Materialise a per-row weight tensor ``W'[i] = W[type_ids[i]]``.
+
+    This is the redundant-copy strategy the paper attributes to
+    ``FastRGCNConv`` and DGL's bmm-based typed linear layers (Section 2.3).
+    """
+    return _as_tensor(weights).index_select(type_ids)
+
+
+def bmm(a: Tensor, b: Tensor) -> Tensor:
+    """Batched matrix multiply of ``(B, m, k)`` and ``(B, k, n)`` tensors."""
+    return _as_tensor(a).matmul(_as_tensor(b))
+
+
+def typed_linear(features: Tensor, weights: Tensor, type_ids, strategy: str = "gather") -> Tensor:
+    """Apply a type-dependent linear transformation to each row.
+
+    ``out[i] = features[i] @ weights[type_ids[i]]``
+
+    Args:
+        features: ``(N, in_dim)`` rows.
+        weights: ``(num_types, in_dim, out_dim)``.
+        type_ids: ``(N,)`` integer type of each row.
+        strategy: ``"gather"`` replicates weights and uses batched matmul
+            (baseline behaviour); ``"loop"`` launches one matmul per type
+            (``RGCNConv`` / HeteroConv behaviour).  Both produce identical
+            values; they differ only in the work the cost model attributes.
+    """
+    features = _as_tensor(features)
+    weights = _as_tensor(weights)
+    ids = _index_array(type_ids)
+    if strategy == "gather":
+        per_row_weights = gather_weights(weights, ids)
+        return bmm(features.unsqueeze(1), per_row_weights).squeeze(1)
+    if strategy == "loop":
+        out_data = np.zeros((features.shape[0], weights.shape[2]), dtype=features.data.dtype)
+        masks = [ids == t for t in range(weights.shape[0])]
+        for t, mask in enumerate(masks):
+            if mask.any():
+                out_data[mask] = features.data[mask] @ weights.data[t]
+
+        def backward(g):
+            grad_features = np.zeros_like(features.data)
+            grad_weights = np.zeros_like(weights.data)
+            for t, mask in enumerate(masks):
+                if mask.any():
+                    grad_features[mask] = g[mask] @ weights.data[t].T
+                    grad_weights[t] = features.data[mask].T @ g[mask]
+            return (grad_features, grad_weights)
+
+        return _maybe_make(out_data, (features, weights), backward, "typed_linear_loop")
+    raise ValueError(f"unknown typed_linear strategy: {strategy!r}")
+
+
+# ----------------------------------------------------------------------
+# softmax variants
+# ----------------------------------------------------------------------
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along ``axis``."""
+    x = _as_tensor(x)
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def edge_softmax(scores: Tensor, dst_indices, num_nodes: int) -> Tensor:
+    """Softmax of per-edge scores grouped by destination node.
+
+    Matches the ``edge_softmax`` helper used in RGAT / HGT (Listing 1 of the
+    paper): ``out[e] = exp(scores[e]) / sum_{e' -> dst(e)} exp(scores[e'])``.
+    A per-destination max shift keeps the computation stable.
+    """
+    scores = _as_tensor(scores)
+    dst = _index_array(dst_indices)
+    # Stability shift computed outside the graph (constant w.r.t. gradient).
+    flat = scores.data.reshape(scores.shape[0], -1)
+    maxes = np.full((num_nodes, flat.shape[1]), -np.inf)
+    np.maximum.at(maxes, dst, flat)
+    maxes[~np.isfinite(maxes)] = 0.0
+    shift = Tensor(maxes.reshape((num_nodes,) + scores.shape[1:]))
+    shifted = scores - shift.index_select(dst)
+    exps = shifted.exp()
+    denom = scatter_add(exps, dst, num_nodes)
+    # Guard isolated nodes against division by zero.
+    denom_safe = denom + Tensor(np.where(denom.data == 0, 1.0, 0.0))
+    return exps / denom_safe.index_select(dst)
+
+
+# ----------------------------------------------------------------------
+# sparse kernels (DGL-style lowering)
+# ----------------------------------------------------------------------
+def spmm(src_indices, dst_indices, edge_values: Optional[Tensor], node_features: Tensor, num_dst: int) -> Tensor:
+    """Sparse-dense matrix multiply expressed as gather → scale → scatter.
+
+    ``out[v] = sum_{e=(u,v)} edge_values[e] * node_features[u]``.  When
+    ``edge_values`` is ``None`` the edge weight is 1 (plain sum aggregation).
+    """
+    gathered = gather_rows(node_features, src_indices)
+    if edge_values is not None:
+        values = _as_tensor(edge_values)
+        if values.ndim == 1:
+            values = values.reshape(-1, 1)
+        gathered = gathered * values
+    return scatter_add(gathered, dst_indices, num_dst)
+
+
+def sddmm(src_indices, dst_indices, src_features: Tensor, dst_features: Tensor) -> Tensor:
+    """Sampled dense-dense matrix multiply: per-edge dot products.
+
+    ``out[e] = <src_features[src(e)], dst_features[dst(e)]>``
+    """
+    hs = gather_rows(src_features, src_indices)
+    ht = gather_rows(dst_features, dst_indices)
+    return (hs * ht).sum(axis=-1)
+
+
+def dot_product(a: Tensor, b: Tensor) -> Tensor:
+    """Rowwise dot product of two ``(N, d)`` tensors returning ``(N,)``."""
+    return (_as_tensor(a) * _as_tensor(b)).sum(axis=-1)
+
+
+def outer_product(a: Tensor, b: Tensor) -> Tensor:
+    """Rowwise outer product of ``(N, d1)`` and ``(N, d2)`` returning ``(N, d1, d2)``.
+
+    Outer products dominate the backward pass of typed linear layers (the
+    weight gradient); the paper identifies them as a latency bottleneck.
+    """
+    return _as_tensor(a).unsqueeze(2) * _as_tensor(b).unsqueeze(1)
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    """Leaky rectified linear unit."""
+    return _as_tensor(x).leaky_relu(negative_slope)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log-softmax along ``axis``."""
+    x = _as_tensor(x)
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def nll_loss(log_probs: Tensor, targets) -> Tensor:
+    """Negative log-likelihood loss given log-probabilities and integer targets.
+
+    The paper trains by comparing outputs against a precomputed random label
+    tensor with NLL loss (Section 4.1); this is the same objective.
+    """
+    log_probs = _as_tensor(log_probs)
+    targets = _index_array(targets)
+    rows = np.arange(log_probs.shape[0])
+    picked = log_probs[(rows, targets)]
+    return -picked.mean()
+
+
+def cross_entropy(logits: Tensor, targets) -> Tensor:
+    """Cross-entropy loss from raw logits."""
+    return nll_loss(log_softmax(logits, axis=-1), targets)

@@ -1,0 +1,528 @@
+"""Core :class:`Tensor` type with reverse-mode automatic differentiation.
+
+The design mirrors the subset of PyTorch semantics that the Hector paper
+relies on: tensors carry data, an optional gradient, and a backward closure
+linking them to their parents in the computation graph.  Calling
+:meth:`Tensor.backward` on a scalar (or with an explicit output gradient)
+performs a reverse topological sweep and accumulates ``.grad`` on every leaf
+tensor with ``requires_grad=True``.
+
+Only the operations needed by relational graph neural networks are
+implemented: elementwise arithmetic, matrix multiplication (including batched
+and typed/segment variants in :mod:`repro.tensor.ops`), gather/scatter,
+reductions, and common activations.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables gradient tracking (like ``torch.no_grad``)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return ``True`` when operations record the autograd graph."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over dimensions that were broadcast from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor participating in reverse-mode autograd.
+
+    Attributes:
+        data: the underlying ``numpy.ndarray``.
+        requires_grad: whether gradients are accumulated into :attr:`grad`.
+        grad: accumulated gradient array, or ``None``.
+    """
+
+    __array_priority__ = 200  # ensure numpy defers to Tensor operators
+
+    def __init__(self, data, requires_grad: bool = False, dtype=None):
+        if isinstance(data, Tensor):
+            data = data.data
+        array = np.asarray(data, dtype=dtype if dtype is not None else None)
+        if array.dtype.kind in "iub" and dtype is None:
+            # Integer tensors are allowed (index tensors) but never require grad.
+            pass
+        elif array.dtype != np.float64 and dtype is None:
+            array = array.astype(np.float64)
+        self.data: np.ndarray = array
+        self.requires_grad: bool = bool(requires_grad) and is_grad_enabled()
+        self.grad: Optional[np.ndarray] = None
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+        self._op_name: str = "leaf"
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a Python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else self._raise_item()
+
+    def _raise_item(self):
+        raise ValueError(f"item() requires a single-element tensor, got shape {self.shape}")
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but detached from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def clone(self) -> "Tensor":
+        """Return a copy of this tensor that participates in the graph."""
+        return _make(self.data.copy(), (self,), lambda g: (g,), "clone")
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, op={self._op_name}{flag})"
+
+    def __len__(self) -> int:
+        return self.data.shape[0]
+
+    # ------------------------------------------------------------------
+    # autograd engine
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[Union[np.ndarray, "Tensor"]] = None) -> None:
+        """Run reverse-mode autodiff from this tensor.
+
+        Args:
+            grad: gradient of the final objective with respect to this tensor.
+                Defaults to 1 for scalar tensors.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without an argument requires a scalar tensor")
+            grad = np.ones_like(self.data)
+        elif isinstance(grad, Tensor):
+            grad = grad.data
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+
+        topo: List[Tensor] = []
+        visited = set()
+
+        def visit(node: "Tensor") -> None:
+            if id(node) in visited:
+                return
+            visited.add(id(node))
+            for parent in node._parents:
+                visit(parent)
+            topo.append(node)
+
+        visit(self)
+
+        grads = {id(self): grad}
+        for node in reversed(topo):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad and node._backward is None:
+                # Leaf tensor: accumulate.
+                if node.grad is None:
+                    node.grad = node_grad.copy()
+                else:
+                    node.grad = node.grad + node_grad
+            if node._backward is None:
+                continue
+            parent_grads = node._backward(node_grad)
+            for parent, parent_grad in zip(node._parents, parent_grads):
+                if parent_grad is None:
+                    continue
+                existing = grads.get(id(parent))
+                if existing is None:
+                    grads[id(parent)] = parent_grad
+                else:
+                    grads[id(parent)] = existing + parent_grad
+
+    def _needs_graph(self, *others: "Tensor") -> bool:
+        if not is_grad_enabled():
+            return False
+        if self.requires_grad or self._backward is not None:
+            return True
+        for other in others:
+            if isinstance(other, Tensor) and (other.requires_grad or other._backward is not None):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = _as_tensor(other)
+        out_data = self.data + other.data
+
+        def backward(g):
+            return (_unbroadcast(g, self.shape), _unbroadcast(g, other.shape))
+
+        return _maybe_make(out_data, (self, other), backward, "add")
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Tensor":
+        other = _as_tensor(other)
+        out_data = self.data - other.data
+
+        def backward(g):
+            return (_unbroadcast(g, self.shape), _unbroadcast(-g, other.shape))
+
+        return _maybe_make(out_data, (self, other), backward, "sub")
+
+    def __rsub__(self, other) -> "Tensor":
+        return _as_tensor(other).__sub__(self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = _as_tensor(other)
+        out_data = self.data * other.data
+
+        def backward(g):
+            return (
+                _unbroadcast(g * other.data, self.shape),
+                _unbroadcast(g * self.data, other.shape),
+            )
+
+        return _maybe_make(out_data, (self, other), backward, "mul")
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = _as_tensor(other)
+        out_data = self.data / other.data
+
+        def backward(g):
+            return (
+                _unbroadcast(g / other.data, self.shape),
+                _unbroadcast(-g * self.data / (other.data ** 2), other.shape),
+            )
+
+        return _maybe_make(out_data, (self, other), backward, "div")
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return _as_tensor(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        return _maybe_make(-self.data, (self,), lambda g: (-g,), "neg")
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        out_data = self.data ** exponent
+
+        def backward(g):
+            return (g * exponent * self.data ** (exponent - 1),)
+
+        return _maybe_make(out_data, (self,), backward, "pow")
+
+    # ------------------------------------------------------------------
+    # linear algebra
+    # ------------------------------------------------------------------
+    def matmul(self, other: "Tensor") -> "Tensor":
+        """Matrix multiply, supporting batched (3-D) operands like ``torch.bmm``."""
+        other = _as_tensor(other)
+        out_data = np.matmul(self.data, other.data)
+
+        def backward(g):
+            a, b = self.data, other.data
+            if a.ndim == 1 and b.ndim == 1:
+                grad_a = g * b
+                grad_b = g * a
+            else:
+                a_mat = a if a.ndim > 1 else a.reshape(1, -1)
+                b_mat = b if b.ndim > 1 else b.reshape(-1, 1)
+                g_mat = g
+                if a.ndim == 1:
+                    g_mat = g.reshape(1, *g.shape) if g.ndim == b.ndim - 1 else g
+                grad_a = np.matmul(g_mat, np.swapaxes(b_mat, -1, -2))
+                grad_b = np.matmul(np.swapaxes(a_mat, -1, -2), g_mat)
+                grad_a = _unbroadcast(grad_a.reshape(a.shape) if grad_a.size == a.size else grad_a, a.shape)
+                grad_b = _unbroadcast(grad_b.reshape(b.shape) if grad_b.size == b.size else grad_b, b.shape)
+            return (grad_a, grad_b)
+
+        return _maybe_make(out_data, (self, other), backward, "matmul")
+
+    __matmul__ = matmul
+
+    def transpose(self, axis0: int = -2, axis1: int = -1) -> "Tensor":
+        """Swap two axes (default: last two)."""
+        out_data = np.swapaxes(self.data, axis0, axis1)
+
+        def backward(g):
+            return (np.swapaxes(g, axis0, axis1),)
+
+        return _maybe_make(out_data, (self,), backward, "transpose")
+
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.shape
+        out_data = self.data.reshape(shape)
+
+        def backward(g):
+            return (g.reshape(original),)
+
+        return _maybe_make(out_data, (self,), backward, "reshape")
+
+    def unsqueeze(self, axis: int) -> "Tensor":
+        out_data = np.expand_dims(self.data, axis)
+
+        def backward(g):
+            return (np.squeeze(g, axis=axis),)
+
+        return _maybe_make(out_data, (self,), backward, "unsqueeze")
+
+    def squeeze(self, axis: int) -> "Tensor":
+        out_data = np.squeeze(self.data, axis=axis)
+        original = self.shape
+
+        def backward(g):
+            return (g.reshape(original),)
+
+        return _maybe_make(out_data, (self,), backward, "squeeze")
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        shape = self.shape
+
+        def backward(g):
+            grad = g
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis)
+            return (np.broadcast_to(grad, shape).copy(),)
+
+        return _maybe_make(out_data, (self,), backward, "sum")
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.mean(axis=axis, keepdims=keepdims)
+        shape = self.shape
+        if axis is None:
+            count = self.data.size
+        else:
+            count = self.data.shape[axis]
+
+        def backward(g):
+            grad = g
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis)
+            return (np.broadcast_to(grad, shape).copy() / count,)
+
+        return _maybe_make(out_data, (self,), backward, "mean")
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(g):
+            expanded = g
+            out_expanded = out_data
+            if axis is not None and not keepdims:
+                expanded = np.expand_dims(expanded, axis)
+                out_expanded = np.expand_dims(out_data, axis)
+            mask = (self.data == out_expanded).astype(self.data.dtype)
+            # Distribute gradient among ties equally.
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            return (mask * expanded / counts,)
+
+        return _maybe_make(out_data, (self,), backward, "max")
+
+    # ------------------------------------------------------------------
+    # elementwise nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(g):
+            return (g * out_data,)
+
+        return _maybe_make(out_data, (self,), backward, "exp")
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(g):
+            return (g / self.data,)
+
+        return _maybe_make(out_data, (self,), backward, "log")
+
+    def relu(self) -> "Tensor":
+        out_data = np.maximum(self.data, 0.0)
+
+        def backward(g):
+            return (g * (self.data > 0),)
+
+        return _maybe_make(out_data, (self,), backward, "relu")
+
+    def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
+        out_data = np.where(self.data > 0, self.data, self.data * negative_slope)
+
+        def backward(g):
+            return (g * np.where(self.data > 0, 1.0, negative_slope),)
+
+        return _maybe_make(out_data, (self,), backward, "leaky_relu")
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(g):
+            return (g * out_data * (1.0 - out_data),)
+
+        return _maybe_make(out_data, (self,), backward, "sigmoid")
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(g):
+            return (g * (1.0 - out_data ** 2),)
+
+        return _maybe_make(out_data, (self,), backward, "tanh")
+
+    # ------------------------------------------------------------------
+    # indexing / gather / scatter
+    # ------------------------------------------------------------------
+    def __getitem__(self, index) -> "Tensor":
+        if isinstance(index, Tensor):
+            index = index.data
+        out_data = self.data[index]
+        shape = self.shape
+        dtype = self.data.dtype
+
+        def backward(g):
+            grad = np.zeros(shape, dtype=dtype)
+            np.add.at(grad, index, g)
+            return (grad,)
+
+        return _maybe_make(out_data, (self,), backward, "getitem")
+
+    def index_select(self, indices) -> "Tensor":
+        """Gather rows by ``indices`` (first axis)."""
+        if isinstance(indices, Tensor):
+            indices = indices.data
+        indices = np.asarray(indices, dtype=np.int64)
+        out_data = self.data[indices]
+        shape = self.shape
+        dtype = self.data.dtype
+
+        def backward(g):
+            grad = np.zeros(shape, dtype=dtype)
+            np.add.at(grad, indices, g)
+            return (grad,)
+
+        return _maybe_make(out_data, (self,), backward, "index_select")
+
+    # ------------------------------------------------------------------
+    # comparisons (no gradient)
+    # ------------------------------------------------------------------
+    def __gt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return Tensor(self.data > other)
+
+    def __lt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return Tensor(self.data < other)
+
+
+def _as_tensor(value) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def _make(data: np.ndarray, parents: Tuple[Tensor, ...], backward, op_name: str) -> Tensor:
+    out = Tensor(data)
+    out._parents = parents
+    out._backward = backward
+    out._op_name = op_name
+    out.requires_grad = any(p.requires_grad or p._backward is not None for p in parents)
+    return out
+
+
+def _maybe_make(data: np.ndarray, parents: Tuple[Tensor, ...], backward, op_name: str) -> Tensor:
+    """Create a graph node only when gradient tracking is needed."""
+    if is_grad_enabled() and any(
+        isinstance(p, Tensor) and (p.requires_grad or p._backward is not None) for p in parents
+    ):
+        return _make(data, parents, backward, op_name)
+    out = Tensor(data)
+    out._op_name = op_name
+    return out
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    tensors = [_as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+
+    def backward(g):
+        grads = []
+        start = 0
+        for size in sizes:
+            slicer = [slice(None)] * g.ndim
+            slicer[axis] = slice(start, start + size)
+            grads.append(g[tuple(slicer)])
+            start += size
+        return tuple(grads)
+
+    return _maybe_make(out_data, tuple(tensors), backward, "concat")
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient support."""
+    tensors = [_as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g):
+        return tuple(np.take(g, i, axis=axis) for i in range(len(tensors)))
+
+    return _maybe_make(out_data, tuple(tensors), backward, "stack")

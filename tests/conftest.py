@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.graph import HeteroGraph, random_hetero_graph
+
+
+@pytest.fixture(scope="session")
+def small_graph() -> HeteroGraph:
+    """A small random heterogeneous graph (3 node types, 6 relations)."""
+    return random_hetero_graph(
+        num_nodes=60, num_edges=300, num_node_types=3, num_edge_types=6, seed=3, name="small"
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_graph() -> HeteroGraph:
+    """A tiny hand-checkable heterogeneous graph (2 node types, 2 relations)."""
+    edges = {
+        ("author", "writes", "paper"): (np.array([0, 0, 1, 2]), np.array([0, 1, 1, 2])),
+        ("paper", "cites", "paper"): (np.array([0, 1, 2]), np.array([1, 2, 0])),
+    }
+    return HeteroGraph({"author": 3, "paper": 3}, edges, name="tiny")
+
+
+@pytest.fixture(scope="session")
+def medium_graph() -> HeteroGraph:
+    """A slightly larger graph exercising skewed relation sizes."""
+    return random_hetero_graph(
+        num_nodes=200, num_edges=1500, num_node_types=4, num_edge_types=12, seed=11,
+        name="medium", source_locality=0.5,
+    )
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def small_features(small_graph, rng) -> np.ndarray:
+    return rng.standard_normal((small_graph.num_nodes, 8))

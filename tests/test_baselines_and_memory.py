@@ -1,0 +1,170 @@
+"""Tests of the baseline system models, the memory/OOM model, and Table 1 data."""
+
+import pytest
+
+from repro.baselines import (
+    ALL_BASELINES,
+    HectorSystem,
+    TABLE1_FEATURES,
+    UnsupportedModelError,
+    feature_table_rows,
+    get_baseline,
+)
+from repro.baselines.base import backward_works
+from repro.evaluation.workload import WorkloadSpec
+from repro.frontend.config import CONFIGURATIONS
+from repro.gpu.device import RTX_3090
+from repro.runtime.memory import MemoryModel, OutOfMemoryError, check_footprint
+
+
+def workload(name="aifb", **kwargs):
+    return WorkloadSpec.from_dataset(name, **kwargs)
+
+
+class TestMemoryModel:
+    def test_allocate_and_oom(self):
+        model = MemoryModel(capacity_bytes=1000)
+        model.allocate("a", 600)
+        assert model.would_fit(300)
+        assert not model.would_fit(600)
+        with pytest.raises(OutOfMemoryError):
+            model.allocate("b", 600)
+        assert model.peak_allocated() >= 1200
+        model.reset()
+        assert model.total_allocated() == 0
+
+    def test_free_and_negative_rejected(self):
+        model = MemoryModel(capacity_bytes=1000)
+        model.allocate("a", 500)
+        model.free("a")
+        assert model.total_allocated() == 0
+        with pytest.raises(ValueError):
+            model.allocate("b", -1)
+
+    def test_check_footprint(self):
+        assert check_footprint(10, 100) == 10
+        with pytest.raises(OutOfMemoryError) as excinfo:
+            check_footprint(200 * 2**30, 24 * 2**30, label="PyG/rgcn/mag")
+        assert "PyG" in str(excinfo.value)
+
+
+class TestBaselineSupportMatrix:
+    def test_registry_contains_five_systems(self):
+        assert set(ALL_BASELINES) == {"DGL", "PyG", "Seastar", "Graphiler", "HGL"}
+        assert get_baseline("DGL").name == "DGL"
+        with pytest.raises(KeyError):
+            get_baseline("TVM")
+
+    def test_graphiler_is_inference_only(self):
+        graphiler = get_baseline("Graphiler")
+        assert graphiler.supports("rgcn", training=False)
+        assert not graphiler.supports("rgcn", training=True)
+
+    def test_hgl_is_training_only_without_hgt(self):
+        hgl = get_baseline("HGL")
+        assert hgl.supports("rgat", training=True)
+        assert not hgl.supports("rgat", training=False)
+        assert not hgl.supports("hgt", training=True)
+        estimate = hgl.estimate("hgt", workload(), training=True)
+        assert estimate.unsupported and estimate.time_ms is None
+        assert estimate.status() == "n/a"
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(UnsupportedModelError):
+            get_baseline("DGL").forward_works("gat", workload())
+
+
+class TestBaselineKernelPlans:
+    def test_per_relation_loop_launches_scale_with_relations(self):
+        dgl = get_baseline("DGL")
+        few = dgl.works("rgat", workload("mag"), training=False)      # 4 relations
+        many = dgl.works("rgat", workload("fb15k"), training=False)   # 474 relations
+        assert sum(w.launches for w in many) > sum(w.launches for w in few)
+
+    def test_segment_mm_uses_single_launch_per_layer(self):
+        dgl = get_baseline("DGL")
+        works = dgl.works("rgcn", workload("fb15k"), training=False)
+        message_gemms = [w for w in works if w.name.startswith("rgcn_msg") and w.category == "gemm"]
+        assert len(message_gemms) == 1
+
+    def test_pyg_weight_replication_appears_in_plan_and_memory(self):
+        pyg = get_baseline("PyG")
+        works = pyg.works("rgcn", workload("aifb"), training=False)
+        assert any(w.name.endswith("replicate_w") for w in works)
+        dgl_memory = get_baseline("DGL").memory_bytes("rgcn", workload("aifb"), training=False)
+        pyg_memory = pyg.memory_bytes("rgcn", workload("aifb"), training=False)
+        assert pyg_memory > 5 * dgl_memory
+
+    def test_seastar_lowers_everything_to_traversal(self):
+        seastar = get_baseline("Seastar")
+        works = seastar.works("rgcn", workload(), training=False)
+        assert all(w.category != "gemm" for w in works)
+
+    def test_backward_works_add_outer_products_and_atomics(self):
+        forward = get_baseline("DGL").forward_works("rgcn", workload())
+        backward = backward_works(forward)
+        assert len(backward) > len(forward)
+        assert any(w.has_outer_product for w in backward)
+        assert all(w.direction == "backward" for w in backward)
+
+    def test_training_estimate_slower_than_inference(self):
+        dgl = get_baseline("DGL")
+        inference = dgl.estimate("rgcn", workload("bgs"), training=False)
+        training = dgl.estimate("rgcn", workload("bgs"), training=True)
+        assert training.time_ms > inference.time_ms
+
+
+class TestOOMBehaviour:
+    def test_weight_replicating_systems_oom_on_large_graphs(self):
+        big = workload("mag")
+        assert get_baseline("PyG").estimate("rgcn", big, training=True).oom
+        assert get_baseline("Seastar").estimate("rgat", big, training=True).oom
+
+    def test_hector_runs_where_baselines_oom(self):
+        big = workload("mag")
+        hector = HectorSystem(CONFIGURATIONS["C+R"])
+        estimate = hector.estimate("rgcn", big, training=True)
+        assert not estimate.oom and estimate.time_ms is not None
+
+    def test_compaction_reduces_hector_memory(self):
+        big = workload("wikikg2")
+        unopt = HectorSystem(CONFIGURATIONS["U"]).memory_bytes("rgat", big, training=False)
+        compact = HectorSystem(CONFIGURATIONS["C"]).memory_bytes("rgat", big, training=False)
+        assert compact < unopt
+
+
+class TestHectorSystemInterface:
+    def test_hector_supports_all_models_and_modes(self):
+        hector = HectorSystem()
+        for model in ("rgcn", "rgat", "hgt"):
+            assert hector.supports(model, training=True)
+            assert hector.supports(model, training=False)
+
+    def test_compilation_is_cached_per_dimensions(self):
+        hector = HectorSystem()
+        first = hector.compiled("rgcn", 64, 64)
+        second = hector.compiled("rgcn", 64, 64)
+        assert first is second
+        assert hector.compiled("rgcn", 32, 32) is not first
+
+    def test_hector_faster_than_eager_baselines_on_small_graph(self):
+        small = workload("aifb")
+        hector_time = HectorSystem(CONFIGURATIONS["U"]).estimate("rgat", small, False).time_ms
+        dgl_time = get_baseline("DGL").estimate("rgat", small, False).time_ms
+        assert hector_time < dgl_time
+
+
+class TestTable1:
+    def test_feature_rows_cover_all_systems(self):
+        rows = feature_table_rows()
+        assert len(rows) == 6
+        for row in rows:
+            assert set(row) == {"feature", "Graphiler", "Seastar", "HGL", "Hector"}
+
+    def test_hector_claims_match_paper(self):
+        hector = TABLE1_FEATURES["Hector"]
+        assert hector["target_training"] is True
+        assert hector["design_space_data_layout"] is True
+        assert hector["design_space_intra_operator_schedule"] is True
+        assert TABLE1_FEATURES["Graphiler"]["target_training"] is False
+        assert TABLE1_FEATURES["HGL"]["target_inference"] is False

@@ -1,0 +1,184 @@
+"""Tests of the evaluation harness that regenerates every table and figure."""
+
+import pytest
+
+from repro.evaluation import (
+    WorkloadSpec,
+    architectural_metrics,
+    dimension_sweep,
+    hector_kernel_breakdown,
+    inference_time_breakdown,
+    memory_footprint_study,
+    optimization_speedups,
+    programming_effort_metric,
+    run_end_to_end,
+    run_full_comparison,
+    speedup_summary,
+)
+from repro.evaluation.optimizations import best_fixed_strategy
+from repro.evaluation.reporting import format_table, geometric_mean, speedup
+from repro.evaluation.sweep import sublinearity_ratios
+
+SMALL_DATASETS = ["aifb", "mutag", "bgs", "fb15k"]
+
+
+class TestWorkloadSpec:
+    def test_from_dataset_and_graph_consistency(self, small_graph):
+        full = WorkloadSpec.from_dataset("am")
+        assert full.num_edges == 5_700_000
+        assert full.compaction_ratio == pytest.approx(0.57, abs=0.01)
+        scaled = WorkloadSpec.from_graph(small_graph, in_dim=8, out_dim=8)
+        assert scaled.num_edges == small_graph.num_edges
+        assert scaled.relation_edge_counts.sum() == small_graph.num_edges
+
+    def test_with_dims(self):
+        base = WorkloadSpec.from_dataset("aifb")
+        wider = base.with_dims(128, 128)
+        assert wider.in_dim == 128 and base.in_dim == 64
+
+
+class TestReportingHelpers:
+    def test_format_table_alignment_and_values(self):
+        text = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": None}], title="T")
+        assert "T" in text and "2.5" in text and "-" in text
+        assert format_table([]) == "(empty)"
+
+    def test_geometric_mean_and_speedup(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+        assert speedup(10.0, 5.0) == 2.0
+        assert speedup(None, 5.0) is None
+
+
+class TestFigure8:
+    def test_cell_contains_expected_systems(self):
+        cell = run_end_to_end("rgcn", "aifb", training=False)
+        assert {"DGL", "PyG", "Seastar", "Graphiler", "Hector (U)", "Hector (C+R)"} <= set(cell.estimates)
+        assert cell.best_baseline_time() is not None
+        assert cell.hector_speedup() > 1.0
+        rows = cell.as_rows()
+        assert len(rows) == len(cell.estimates)
+
+    def test_training_cells_use_training_systems(self):
+        cell = run_end_to_end("rgcn", "aifb", training=True)
+        assert "HGL" in cell.estimates and "Graphiler" not in cell.estimates
+
+    def test_hector_outperforms_best_baseline_on_small_datasets(self):
+        for dataset in ("aifb", "mutag"):
+            for model in ("rgcn", "rgat", "hgt"):
+                cell = run_end_to_end(model, dataset, training=False)
+                assert cell.hector_speedup("U") > 1.0, (model, dataset)
+
+    def test_full_comparison_covers_grid(self):
+        results = run_full_comparison(models=["rgcn"], datasets=["aifb", "mutag"], modes=["inference"])
+        assert len(results) == 2
+
+
+class TestTables4And5:
+    def test_table4_structure_and_hector_wins_on_average(self):
+        results = run_full_comparison(models=["rgcn", "rgat"], datasets=SMALL_DATASETS)
+        rows = speedup_summary(results=results)
+        assert rows
+        for row in rows:
+            assert row["worst"] <= row["average"] <= row["best"]
+        averages = [row["average"] for row in rows]
+        assert all(avg > 1.0 for avg in averages)
+        # Best-optimised is at least as fast as unoptimised on average.
+        for mode in ("training", "inference"):
+            for model in ("RGCN", "RGAT"):
+                unopt = next(r for r in rows if r["config"] == "unopt." and r["mode"] == mode and r["model"] == model)
+                best = next(r for r in rows if r["config"] == "b. opt." and r["mode"] == mode and r["model"] == model)
+                assert best["average"] >= 0.95 * unopt["average"]
+
+    def test_rgat_gains_exceed_rgcn_gains(self):
+        results = run_full_comparison(models=["rgcn", "rgat"], datasets=SMALL_DATASETS, modes=["inference"])
+        rows = speedup_summary(results=results)
+        rgat = next(r for r in rows if r["model"] == "RGAT" and r["config"] == "unopt.")
+        rgcn = next(r for r in rows if r["model"] == "RGCN" and r["config"] == "unopt.")
+        assert rgat["best"] > rgcn["best"]
+
+    def test_table5_compaction_helps_most_on_low_ratio_datasets(self):
+        rows = optimization_speedups(models=["rgat"], datasets=["biokg", "aifb"], modes=["inference"])
+        biokg = next(r for r in rows if r["dataset"] == "biokg")
+        aifb = next(r for r in rows if r["dataset"] == "aifb")
+        assert biokg["C"] > aifb["C"]
+
+    def test_table5_average_rows_and_best_strategy(self):
+        rows = optimization_speedups(models=["rgat", "hgt"], datasets=SMALL_DATASETS, modes=["inference"])
+        averages = [r for r in rows if r["dataset"] == "AVERAGE"]
+        assert len(averages) == 2
+        assert best_fixed_strategy(rows) == "C+R"
+        for row in averages:
+            assert row["C+R"] >= max(row["C"], row["R"]) * 0.9
+
+
+class TestFigures3And9:
+    def test_figure3_breakdown_rows(self):
+        rows = inference_time_breakdown(models=("rgat",), datasets=("fb15k", "mutag"))
+        assert len(rows) == 4  # 2 datasets × 2 systems
+        for row in rows:
+            assert row["total_ms"] > 0
+            assert row["matrix_multiply_ms"] >= 0
+        hector = [r for r in rows if r["system"] == "Hector"]
+        graphiler = [r for r in rows if r["system"] == "Graphiler"]
+        assert sum(r["total_ms"] for r in hector) < sum(r["total_ms"] for r in graphiler)
+        # Hector eliminates the dedicated indexing/copying kernels.
+        assert all(r["indexing_copy_ms"] == 0 for r in hector)
+        assert any(r["indexing_copy_ms"] > 0 for r in graphiler)
+
+    def test_figure9_breakdown_configs(self):
+        rows = hector_kernel_breakdown(datasets=("am", "fb15k"), configs=("U", "C", "C+R"))
+        assert len(rows) == 6
+        am_unopt = next(r for r in rows if r["dataset"] == "am" and r["config"] == "U")
+        am_compact = next(r for r in rows if r["dataset"] == "am" and r["config"] == "C")
+        assert am_compact["gemm_ms"] < am_unopt["gemm_ms"]
+
+
+class TestFigures10To12:
+    def test_memory_study_rows_and_compaction_fractions(self):
+        rows = memory_footprint_study(datasets=["aifb", "biokg", "fb15k"])
+        assert len(rows) == 3
+        for row in rows:
+            assert 0 < row["inference_compact_fraction"] <= 1.0
+            assert row["training_mem_mib"] > row["inference_mem_mib"]
+        biokg = next(r for r in rows if r["dataset"] == "biokg")
+        aifb = next(r for r in rows if r["dataset"] == "aifb")
+        assert biokg["inference_compact_fraction"] < aifb["inference_compact_fraction"]
+
+    def test_dimension_sweep_sublinear_growth(self):
+        rows = dimension_sweep(models=["rgcn"], datasets=["bgs"], modes=["inference"])
+        assert len(rows) == 3
+        ratios = sublinearity_ratios(rows)
+        assert ratios and all(r["time_ratio"] < 4.0 for r in ratios)
+
+    def test_architectural_metrics_shape_and_claims(self):
+        rows = architectural_metrics(datasets=("bgs",), dims=(32, 64), configs=("U",))
+        assert rows
+        categories = {(r["category"], r["direction"]) for r in rows}
+        assert ("gemm", "forward") in categories and ("traversal", "backward") in categories
+        gemm_fwd = [r for r in rows if r["category"] == "gemm" and r["direction"] == "forward"]
+        trav_fwd = [r for r in rows if r["category"] == "traversal" and r["direction"] == "forward"]
+        # GEMM kernels achieve higher arithmetic throughput than traversal kernels.
+        assert min(r["avg_achieved_gflops"] for r in gemm_fwd) > max(r["avg_achieved_gflops"] for r in trav_fwd)
+        # Backward kernels have lower IPC than forward (atomics / outer products).
+        gemm_bwd = [r for r in rows if r["category"] == "gemm" and r["direction"] == "backward"]
+        assert max(r["avg_executed_ipc"] for r in gemm_bwd) <= max(r["avg_executed_ipc"] for r in gemm_fwd)
+
+    def test_throughput_rises_with_feature_dimension(self):
+        rows = architectural_metrics(datasets=("am",), dims=(32, 128), configs=("U",))
+        gemm = [r for r in rows if r["category"] == "gemm" and r["direction"] == "forward"]
+        small = next(r for r in gemm if r["dim"] == 32)
+        large = next(r for r in gemm if r["dim"] == 128)
+        assert large["avg_achieved_gflops"] > small["avg_achieved_gflops"]
+
+
+class TestProgrammingEffort:
+    def test_input_is_tiny_and_generated_is_large(self):
+        metric = programming_effort_metric()
+        totals = metric["totals"]
+        assert totals["input_lines"] < 100
+        assert totals["generated_total"] > 1000
+        assert totals["expansion_factor"] > 20
+        assert len(metric["per_model"]) == 3

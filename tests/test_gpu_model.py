@@ -1,0 +1,134 @@
+"""Tests of the analytical GPU cost model and profiler."""
+
+import pytest
+
+from repro.evaluation.workload import WorkloadSpec
+from repro.gpu import (
+    A100_40GB,
+    RTX_3090,
+    KernelWork,
+    estimate_execution,
+    estimate_kernel_time,
+    kernel_work_from_instance,
+    plan_execution_estimate,
+)
+from repro.gpu.profiler import aggregate_profiles, profile_kernel, profile_kernels
+from repro.ir.inter_op import lower_program
+from repro.models import build_program
+
+
+def make_work(**overrides):
+    defaults = dict(
+        name="k", category="gemm", flops=1e9, bytes_read=1e7, bytes_written=1e6,
+        launches=1, host_ops=1, rows=100_000, cols=64,
+    )
+    defaults.update(overrides)
+    return KernelWork(**defaults)
+
+
+class TestDevice:
+    def test_rtx3090_parameters(self):
+        assert RTX_3090.memory_bytes == 24 * 2**30
+        assert RTX_3090.peak_flops == pytest.approx(35.6e12)
+        assert RTX_3090.dram_bandwidth == pytest.approx(936e9)
+        assert RTX_3090.schedulers_per_sm == 4
+
+    def test_devices_differ(self):
+        assert A100_40GB.memory_bytes > RTX_3090.memory_bytes
+        assert A100_40GB.dram_bandwidth > RTX_3090.dram_bandwidth
+
+
+class TestKernelTimeModel:
+    def test_more_flops_takes_longer(self):
+        fast = estimate_kernel_time(make_work(flops=1e8))
+        slow = estimate_kernel_time(make_work(flops=1e10))
+        assert slow.total_time > fast.total_time
+
+    def test_memory_bound_kernel_detected(self):
+        work = make_work(category="traversal", flops=1e6, bytes_read=5e9, bytes_written=1e9)
+        timing = estimate_kernel_time(work)
+        assert timing.bound == "memory"
+
+    def test_latency_bound_tiny_kernel(self):
+        work = make_work(flops=1e3, bytes_read=1e3, bytes_written=1e3, rows=8, cols=8)
+        timing = estimate_kernel_time(work)
+        assert timing.bound == "latency"
+        assert timing.launch_time >= RTX_3090.kernel_launch_overhead_us * 1e-6
+
+    def test_small_grids_get_lower_throughput(self):
+        big = make_work(rows=1_000_000)
+        small = make_work(rows=500, flops=1e9)
+        big_gflops = big.flops / estimate_kernel_time(big).total_time / 1e9
+        small_gflops = small.flops / estimate_kernel_time(small).total_time / 1e9
+        assert big_gflops > small_gflops
+
+    def test_atomics_and_outer_products_are_penalised(self):
+        base = estimate_kernel_time(make_work(category="traversal"))
+        atomic = estimate_kernel_time(make_work(category="traversal", uses_atomics=True))
+        outer = estimate_kernel_time(make_work(category="traversal", uses_atomics=True, has_outer_product=True))
+        assert atomic.total_time > base.total_time
+        assert outer.total_time > atomic.total_time
+
+    def test_gemm_beats_traversal_for_same_work(self):
+        gemm = estimate_kernel_time(make_work(category="gemm", flops=5e10))
+        traversal = estimate_kernel_time(make_work(category="traversal", flops=5e10))
+        assert gemm.total_time < traversal.total_time
+
+    def test_arithmetic_intensity(self):
+        work = make_work(flops=1e6, bytes_read=5e5, bytes_written=5e5)
+        assert work.arithmetic_intensity == pytest.approx(1.0)
+
+
+class TestExecutionEstimate:
+    def test_launch_and_host_overhead_accumulate(self):
+        works = [make_work(name=f"k{i}", launches=1, host_ops=1) for i in range(10)]
+        eager = estimate_execution(works, framework_overhead_per_op_us=50.0)
+        compiled = estimate_execution(works, framework_overhead_per_op_us=2.0)
+        assert eager.total_time > compiled.total_time
+        assert eager.num_launches() == 10
+        assert "gemm" in eager.time_by_category()
+
+    def test_many_small_launches_slower_than_one_big(self):
+        one = [make_work(flops=1e9, rows=100_000)]
+        many = [make_work(name=f"k{i}", flops=1e9 / 50, rows=2000) for i in range(50)]
+        assert estimate_execution(many).total_time > estimate_execution(one).total_time
+
+    def test_plan_execution_estimate_training_costs_more(self):
+        plan = lower_program(build_program("rgcn"))
+        workload = WorkloadSpec.from_dataset("aifb")
+        inference = plan_execution_estimate(plan, workload, training=False)
+        training = plan_execution_estimate(plan, workload, training=True)
+        assert training.total_time > inference.total_time
+
+    def test_kernel_work_from_instance_categories(self):
+        plan = lower_program(build_program("rgat"))
+        workload = WorkloadSpec.from_dataset("aifb")
+        works = [kernel_work_from_instance(k, workload) for k in plan.forward_kernels]
+        assert {w.category for w in works} <= {"gemm", "traversal", "fallback"}
+        assert all(w.flops >= 0 and w.bytes_total > 0 for w in works)
+
+
+class TestProfiler:
+    def test_profile_metrics_in_valid_ranges(self):
+        profile = profile_kernel(make_work())
+        assert profile.achieved_gflops > 0
+        assert 0 < profile.executed_ipc <= 4
+        assert 0 <= profile.dram_throughput_pct <= 100
+        assert 0 <= profile.lsu_utilization_pct <= 100
+        assert set(profile.as_dict()) >= {"achieved_gflops", "executed_ipc"}
+
+    def test_atomic_kernels_have_lower_ipc(self):
+        normal = profile_kernel(make_work(category="traversal"))
+        atomic = profile_kernel(make_work(category="traversal", uses_atomics=True))
+        assert atomic.executed_ipc < normal.executed_ipc
+
+    def test_aggregate_profiles_by_category_and_direction(self):
+        works = [
+            make_work(name="a", category="gemm", direction="forward"),
+            make_work(name="b", category="gemm", direction="backward", uses_atomics=True),
+            make_work(name="c", category="traversal", direction="forward"),
+        ]
+        aggregated = aggregate_profiles(profile_kernels(works))
+        assert set(aggregated) == {"gemm/forward", "gemm/backward", "traversal/forward"}
+        assert aggregated["gemm/forward"]["num_kernels"] == 1
+        assert aggregated["gemm/backward"]["avg_executed_ipc"] < aggregated["gemm/forward"]["avg_executed_ipc"]

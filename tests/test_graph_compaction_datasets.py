@@ -1,0 +1,118 @@
+"""Tests of compact materialization indices and the Table 3 dataset registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import build_compaction_index, load_dataset, random_hetero_graph
+from repro.graph.datasets import DATASETS, dataset_names, get_dataset_stats, table3_rows
+
+
+class TestCompactionIndex:
+    def test_simple_example_from_figure7(self):
+        # Edges of the paper's Figure 6(a)/7 example: message depends on
+        # (source node, edge type); 7 edges share 5 unique pairs.
+        src = np.array([1, 2, 5, 6, 6, 3, 3])
+        etype = np.array([0, 0, 1, 1, 1, 2, 2])
+        index = build_compaction_index(src, etype, num_etypes=3)
+        assert index.num_edges == 7
+        assert index.num_unique == 5
+        assert index.compaction_ratio == pytest.approx(5 / 7)
+
+    def test_expand_recovers_per_edge_rows(self, medium_graph):
+        index = medium_graph.compaction
+        compact_rows = np.random.default_rng(0).standard_normal((index.num_unique, 4))
+        expanded = index.expand(compact_rows)
+        assert expanded.shape == (medium_graph.num_edges, 4)
+        for edge in range(0, medium_graph.num_edges, 97):
+            np.testing.assert_allclose(expanded[edge], compact_rows[index.edge_to_unique[edge]])
+
+    def test_unique_rows_sorted_by_etype_and_consistent(self, medium_graph):
+        index = medium_graph.compaction
+        index.validate()
+        assert np.all(np.diff(index.unique_etype) >= 0)
+        # Every (src, etype) pair maps to a unique row with exactly that pair.
+        np.testing.assert_array_equal(index.unique_src[index.edge_to_unique], medium_graph.edge_src)
+        np.testing.assert_array_equal(index.unique_etype[index.edge_to_unique], medium_graph.edge_type)
+
+    def test_empty_graph_compaction(self):
+        index = build_compaction_index(np.array([]), np.array([]), num_etypes=3)
+        assert index.num_unique == 0
+        assert index.compaction_ratio == 1.0
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            build_compaction_index(np.array([0, 1]), np.array([0]), 1)
+
+    @given(st.integers(min_value=1, max_value=200), st.integers(min_value=1, max_value=6),
+           st.integers(min_value=1, max_value=30))
+    @settings(max_examples=30, deadline=None)
+    def test_compaction_invariants_random(self, num_edges, num_etypes, num_nodes):
+        rng = np.random.default_rng(num_edges * 7 + num_etypes)
+        src = rng.integers(0, num_nodes, size=num_edges)
+        etype = rng.integers(0, num_etypes, size=num_edges)
+        index = build_compaction_index(src, etype, num_etypes)
+        index.validate()
+        assert index.num_unique <= num_edges
+        assert index.num_unique >= len(np.unique(etype))
+        assert 0 < index.compaction_ratio <= 1.0
+        np.testing.assert_array_equal(index.unique_src[index.edge_to_unique], src)
+        np.testing.assert_array_equal(index.unique_etype[index.edge_to_unique], etype)
+
+
+class TestDatasets:
+    def test_table3_contains_all_eight_datasets(self):
+        assert set(dataset_names()) == {
+            "aifb", "am", "bgs", "biokg", "fb15k", "mag", "mutag", "wikikg2",
+        }
+        rows = table3_rows()
+        assert len(rows) == 8
+
+    def test_published_statistics_match_table3(self):
+        assert get_dataset_stats("aifb").num_node_types == 7
+        assert get_dataset_stats("aifb").num_edge_types == 104
+        assert get_dataset_stats("fb15k").num_node_types == 1
+        assert get_dataset_stats("fb15k").num_edge_types == 474
+        assert get_dataset_stats("mag").num_edges == 21_000_000
+        assert get_dataset_stats("wikikg2").num_nodes == 2_500_000
+        assert get_dataset_stats("am").compaction_ratio == pytest.approx(0.57)
+        assert get_dataset_stats("fb15k").compaction_ratio == pytest.approx(0.26)
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            get_dataset_stats("cora")
+
+    def test_relation_counts_sum_to_total(self):
+        for name, stats in DATASETS.items():
+            counts = stats.relation_edge_counts()
+            assert counts.sum() == stats.num_edges
+            assert len(counts) == stats.num_edge_types
+            assert counts.min() >= 1
+            node_counts = stats.node_type_counts()
+            assert node_counts.sum() == stats.num_nodes
+            assert len(node_counts) == stats.num_node_types
+
+    def test_relation_counts_are_deterministic(self):
+        a = get_dataset_stats("bgs").relation_edge_counts()
+        b = get_dataset_stats("bgs").relation_edge_counts()
+        np.testing.assert_array_equal(a, b)
+
+    def test_load_dataset_scales_and_keeps_type_structure(self):
+        graph = load_dataset("aifb", max_edges=5000)
+        stats = get_dataset_stats("aifb")
+        assert graph.num_node_types == stats.num_node_types
+        assert graph.num_edge_types == stats.num_edge_types
+        assert graph.num_edges <= 1.05 * 5000
+        small = load_dataset("mag", max_edges=2000)
+        assert small.num_edges <= 2100
+
+    def test_load_dataset_is_cached_and_deterministic(self):
+        a = load_dataset("mutag", max_edges=3000)
+        b = load_dataset("mutag", max_edges=3000)
+        assert a is b  # lru_cache
+
+    def test_unique_pair_estimate_consistent_with_ratio(self):
+        stats = get_dataset_stats("biokg")
+        assert stats.num_unique_src_etype_pairs == int(round(stats.compaction_ratio * stats.num_edges))
+        assert stats.average_degree == pytest.approx(stats.num_edges / stats.num_nodes)

@@ -1,0 +1,158 @@
+"""Tests of the heterogeneous graph substrate (HeteroGraph, adjacency, generators)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import HeteroGraph, random_hetero_graph
+from repro.graph.adjacency import (
+    AdjacencyAccessor,
+    COOAdjacency,
+    build_csr_by_dst,
+    build_segment_pointers,
+)
+from repro.graph.generators import random_features, random_labels
+
+
+class TestHeteroGraphConstruction:
+    def test_counts_and_offsets(self, tiny_graph):
+        assert tiny_graph.num_nodes == 6
+        assert tiny_graph.num_edges == 7
+        assert tiny_graph.num_node_types == 2
+        assert tiny_graph.num_edge_types == 2
+        assert tiny_graph.node_type_offset("paper") == 3
+
+    def test_node_type_ids_are_segmented(self, tiny_graph):
+        ids = tiny_graph.node_type_ids
+        assert list(ids) == [0, 0, 0, 1, 1, 1]
+
+    def test_global_edge_arrays_respect_offsets(self, tiny_graph):
+        writes_id = tiny_graph.edge_type_id(("author", "writes", "paper"))
+        mask = tiny_graph.edge_type == writes_id
+        # writes edges: authors (global 0..2) -> papers (global 3..5)
+        assert tiny_graph.edge_src[mask].max() <= 2
+        assert tiny_graph.edge_dst[mask].min() >= 3
+
+    def test_invalid_edges_rejected(self):
+        with pytest.raises(ValueError):
+            HeteroGraph({"a": 2}, {("a", "r", "a"): (np.array([0, 5]), np.array([0, 1]))})
+        with pytest.raises(ValueError):
+            HeteroGraph({"a": 2}, {("a", "r", "b"): (np.array([0]), np.array([0]))})
+        with pytest.raises(ValueError):
+            HeteroGraph({"a": 2}, {("a", "r", "a"): (np.array([0, 1]), np.array([0]))})
+        with pytest.raises(ValueError):
+            HeteroGraph({}, {})
+
+    def test_degrees_and_normalization(self, tiny_graph):
+        assert tiny_graph.in_degrees().sum() == tiny_graph.num_edges
+        assert tiny_graph.out_degrees().sum() == tiny_graph.num_edges
+        norm = tiny_graph.degree_normalization()
+        assert norm.shape == (tiny_graph.num_edges,)
+        assert np.all(norm > 0) and np.all(norm <= 1.0)
+
+    def test_statistics_keys(self, small_graph):
+        stats = small_graph.statistics()
+        for key in ("num_nodes", "num_edges", "num_node_types", "num_edge_types",
+                    "average_degree", "entity_compaction_ratio"):
+            assert key in stats
+
+
+class TestHeteroGraphTransforms:
+    def test_add_reverse_edges_doubles_relations(self, tiny_graph):
+        reversed_graph = tiny_graph.add_reverse_edges()
+        assert reversed_graph.num_edge_types == 2 * tiny_graph.num_edge_types
+        assert reversed_graph.num_edges == 2 * tiny_graph.num_edges
+
+    def test_add_self_loops_adds_per_node_type_relations(self, tiny_graph):
+        looped = tiny_graph.add_self_loops()
+        assert looped.num_edge_types == tiny_graph.num_edge_types + tiny_graph.num_node_types
+        assert looped.num_edges == tiny_graph.num_edges + tiny_graph.num_nodes
+
+    def test_subgraph_by_edge_fraction(self, medium_graph):
+        sub = medium_graph.subgraph_by_edge_fraction(0.5, seed=1)
+        assert sub.num_edges < medium_graph.num_edges
+        assert sub.num_edges >= medium_graph.num_edge_types  # at least one edge per relation
+        assert sub.num_nodes == medium_graph.num_nodes
+        with pytest.raises(ValueError):
+            medium_graph.subgraph_by_edge_fraction(0.0)
+
+
+class TestAdjacency:
+    def test_segment_pointers_sorted_and_cover_all(self, small_graph):
+        seg = small_graph.edge_segments
+        assert seg.offsets[-1] == small_graph.num_edges
+        sorted_types = small_graph.edge_type[seg.permutation]
+        assert np.all(np.diff(sorted_types) >= 0)
+        for t in range(small_graph.num_edge_types):
+            start, end = seg.segment(t)
+            assert np.all(sorted_types[start:end] == t)
+            assert seg.segment_size(t) == end - start
+
+    def test_segment_inverse_permutation(self):
+        seg = build_segment_pointers(np.array([2, 0, 1, 0]), 3)
+        inverse = seg.inverse_permutation()
+        np.testing.assert_array_equal(seg.permutation[inverse], np.arange(4))
+
+    def test_csr_by_dst_incoming_edges(self, small_graph):
+        csr = small_graph.csr_by_dst
+        assert csr.num_edges == small_graph.num_edges
+        for node in range(0, small_graph.num_nodes, 7):
+            incoming = csr.incoming_edges(node)
+            assert np.all(small_graph.edge_dst[incoming] == node)
+        assert csr.indptr[-1] == small_graph.num_edges
+
+    def test_coo_accessors(self, tiny_graph):
+        coo = tiny_graph.coo
+        assert coo.num_edges == tiny_graph.num_edges
+        assert coo.get_src(0) == tiny_graph.edge_src[0]
+        assert coo.get_dst(0) == tiny_graph.edge_dst[0]
+        assert coo.get_etype(0) == tiny_graph.edge_type[0]
+
+    def test_coo_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            COOAdjacency(np.array([0]), np.array([0, 1]), np.array([0]))
+
+    def test_adjacency_accessor_costs(self):
+        coo = AdjacencyAccessor.for_format("coo", num_nodes=1000)
+        csr = AdjacencyAccessor.for_format("csr", num_nodes=1000)
+        assert coo.lookups_per_edge == 3.0
+        assert csr.lookups_per_edge > coo.lookups_per_edge  # binary search is dearer
+        with pytest.raises(ValueError):
+            AdjacencyAccessor.for_format("ell", num_nodes=10)
+
+
+class TestGenerators:
+    def test_generator_respects_requested_shape(self):
+        graph = random_hetero_graph(100, 700, 4, 9, seed=5)
+        assert graph.num_nodes == 100
+        assert graph.num_edges == 700
+        assert graph.num_node_types == 4
+        assert graph.num_edge_types == 9
+        assert all(count >= 1 for count in graph.relation_edge_counts())
+
+    def test_generator_is_deterministic(self):
+        a = random_hetero_graph(50, 200, 3, 5, seed=9)
+        b = random_hetero_graph(50, 200, 3, 5, seed=9)
+        np.testing.assert_array_equal(a.edge_src, b.edge_src)
+        np.testing.assert_array_equal(a.edge_dst, b.edge_dst)
+
+    def test_source_locality_lowers_compaction_ratio(self):
+        loose = random_hetero_graph(200, 2000, 2, 4, seed=1, source_locality=0.0)
+        tight = random_hetero_graph(200, 2000, 2, 4, seed=1, source_locality=0.9)
+        assert tight.entity_compaction_ratio < loose.entity_compaction_ratio
+
+    def test_generator_input_validation(self):
+        with pytest.raises(ValueError):
+            random_hetero_graph(2, 10, 5, 2)
+        with pytest.raises(ValueError):
+            random_hetero_graph(10, 1, 2, 5)
+        with pytest.raises(ValueError):
+            random_hetero_graph(10, 10, 0, 2)
+        with pytest.raises(ValueError):
+            random_hetero_graph(10, 10, 2, 2, source_locality=1.5)
+
+    def test_random_features_and_labels(self, small_graph):
+        feats = random_features(small_graph, 16, seed=0)
+        labels = random_labels(small_graph, 4, seed=0)
+        assert feats.shape == (small_graph.num_nodes, 16)
+        assert labels.shape == (small_graph.num_nodes,)
+        assert labels.max() < 4

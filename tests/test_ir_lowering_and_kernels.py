@@ -1,0 +1,163 @@
+"""Tests of lowering to the intra-operator level and of kernel instances."""
+
+import pytest
+
+from repro.evaluation.workload import WorkloadSpec
+from repro.frontend.config import CompilerOptions
+from repro.frontend.compiler import compile_program
+from repro.ir.inter_op import Space, lower_program
+from repro.ir.inter_op.lowering import LoweringOptions
+from repro.ir.inter_op.passes import default_pipeline
+from repro.ir.intra_op import GemmKernel, GemmSchedule, TraversalKernel, TraversalSchedule
+from repro.ir.intra_op.access import GatherKind, ScatterKind
+from repro.ir.intra_op.kernels import FallbackKernel
+from repro.models import build_program
+
+
+def small_workload(**overrides):
+    defaults = dict(
+        name="w", num_nodes=1000, num_edges=5000, num_node_types=3,
+        num_edge_types=10, num_unique_pairs=3000, in_dim=64, out_dim=64,
+    )
+    defaults.update(overrides)
+    return WorkloadSpec(**defaults)
+
+
+class TestLoweringDecisions:
+    def test_rgcn_plan_structure(self):
+        plan = lower_program(build_program("rgcn"))
+        summary = plan.summary()
+        assert summary["num_gemm_kernels"] == 2  # typed message GEMM + self-loop GEMM
+        assert summary["num_traversal_kernels"] >= 2
+        assert summary["num_fallback_kernels"] == 0
+        assert plan.backward_kernels  # training kernels emitted by default
+
+    def test_typed_linear_lowered_to_single_segmented_gemm(self):
+        plan = lower_program(build_program("rgcn"))
+        gemms = [k for k in plan.forward_kernels if isinstance(k, GemmKernel)]
+        message_gemm = next(k for k in gemms if k.type_selector == "etype")
+        assert message_gemm.x.access.gather is GatherKind.EDGE_SRC
+        assert message_gemm.y.access.scatter is ScatterKind.ETYPE_SEGMENT
+        assert message_gemm.launches(small_workload()) == 1
+
+    def test_compaction_changes_gemm_iteration_space(self):
+        program = default_pipeline(True, False).run(build_program("rgat"))
+        plan = lower_program(program)
+        gemms = [k for k in plan.forward_kernels if isinstance(k, GemmKernel)]
+        compact_gemm = next(k for k in gemms if k.m_space is Space.COMPACT)
+        assert compact_gemm.x.access.gather is GatherKind.UNIQUE_SRC
+        assert compact_gemm.y.access.scatter is ScatterKind.UNIQUE_ETYPE_SEGMENT
+        workload = small_workload()
+        assert compact_gemm.rows(workload) == workload.num_unique_pairs
+
+    def test_reordered_weight_products_fall_back(self):
+        program = default_pipeline(False, True).run(build_program("rgat"))
+        plan = lower_program(program)
+        fallbacks = [k for k in plan.forward_kernels if isinstance(k, FallbackKernel)]
+        assert len(fallbacks) == 2
+        assert all(k.op_kind == "weight_product" for k in fallbacks)
+
+    def test_fusion_groups_adjacent_traversal_ops(self):
+        plan_fused = lower_program(build_program("rgat"), LoweringOptions(enable_fusion=True))
+        plan_unfused = lower_program(build_program("rgat"), LoweringOptions(enable_fusion=False))
+        fused_count = len([k for k in plan_fused.forward_kernels if isinstance(k, TraversalKernel)])
+        unfused_count = len([k for k in plan_unfused.forward_kernels if isinstance(k, TraversalKernel)])
+        assert fused_count < unfused_count
+        assert plan_fused.fused_values  # some temporaries avoided global memory
+
+    def test_fused_values_are_not_inputs_outputs_or_parameters(self):
+        plan = lower_program(build_program("rgat"))
+        special = set(plan.input_names) | set(plan.output_names) | set(plan.parameter_names)
+        assert not (plan.fused_values & special)
+
+    def test_backward_kernels_pair_with_forward(self):
+        plan = lower_program(build_program("rgcn"))
+        gemm_forward = [k for k in plan.forward_kernels if isinstance(k, GemmKernel)]
+        gemm_backward = [k for k in plan.backward_kernels if isinstance(k, GemmKernel)]
+        assert len(gemm_backward) == 2 * len(gemm_forward)  # dgrad + wgrad each
+        assert any(k.has_outer_product for k in gemm_backward)
+        assert all(k.direction == "backward" for k in plan.backward_kernels)
+
+    def test_inference_only_lowering_has_no_backward(self):
+        plan = lower_program(build_program("hgt"), LoweringOptions(emit_backward=False))
+        assert plan.backward_kernels == []
+
+    def test_plan_validate_catches_unknown_buffer(self):
+        plan = lower_program(build_program("rgcn"))
+        plan.forward_kernels[0].x.buffer = "nonexistent"
+        with pytest.raises(ValueError):
+            plan.validate()
+
+
+class TestKernelCostAccounting:
+    def test_gemm_flops_formula(self):
+        plan = lower_program(build_program("rgcn", in_dim=32, out_dim=16))
+        workload = small_workload(in_dim=32, out_dim=16)
+        gemm = next(k for k in plan.forward_kernels
+                    if isinstance(k, GemmKernel) and k.type_selector == "etype")
+        assert gemm.flops(workload) == 2 * workload.num_edges * 32 * 16
+
+    def test_compact_gemm_does_less_work(self):
+        workload = small_workload()
+        plan_u = lower_program(build_program("rgat"))
+        plan_c = lower_program(default_pipeline(True, False).run(build_program("rgat")))
+        flops_u = sum(k.flops(workload) for k in plan_u.forward_kernels if isinstance(k, GemmKernel))
+        flops_c = sum(k.flops(workload) for k in plan_c.forward_kernels if isinstance(k, GemmKernel))
+        assert flops_c < flops_u
+
+    def test_traversal_kernel_atomics_and_bytes(self):
+        plan = lower_program(build_program("rgat"))
+        workload = small_workload()
+        traversals = [k for k in plan.forward_kernels if isinstance(k, TraversalKernel)]
+        aggregation = next(k for k in traversals if k.uses_atomics)
+        assert aggregation.bytes_read(workload) > 0
+        assert aggregation.bytes_written(workload) > 0
+        backward = aggregation.emit_backward()[0]
+        assert backward.uses_atomics
+        assert backward.flops(workload) >= aggregation.flops(workload)
+
+    def test_memory_model_counts_compaction_and_training(self):
+        workload = small_workload()
+        plan_u = lower_program(build_program("hgt"))
+        plan_c = lower_program(default_pipeline(True, False).run(build_program("hgt")))
+        assert plan_c.memory_bytes(workload) < plan_u.memory_bytes(workload)
+        assert plan_u.memory_bytes(workload, training=True) > plan_u.memory_bytes(workload)
+
+    def test_plan_launch_and_totals(self):
+        plan = lower_program(build_program("hgt"))
+        workload = small_workload()
+        assert plan.num_kernel_launches(workload, "forward") == len(plan.forward_kernels)
+        assert plan.total_flops(workload, "all") > plan.total_flops(workload, "forward")
+        assert plan.total_bytes(workload, "forward") > 0
+
+    def test_kernel_describe_and_dump(self):
+        plan = lower_program(build_program("rgat"))
+        dump = plan.dump()
+        assert "gemm_1" in dump and "traversal" in dump
+        for kernel in plan.forward_kernels:
+            assert kernel.name in kernel.describe()
+
+
+class TestSchedules:
+    def test_gemm_schedule_validation(self):
+        with pytest.raises(ValueError):
+            GemmSchedule(tile_size=0)
+        with pytest.raises(ValueError):
+            GemmSchedule(coarsening=3)
+        assert GemmSchedule(tile_size=16, coarsening=2).threads_per_block() == 128
+
+    def test_traversal_schedule_validation(self):
+        with pytest.raises(ValueError):
+            TraversalSchedule(rows_per_block=0)
+        schedule = TraversalSchedule(rows_per_block=64, threads_per_row=8)
+        assert schedule.threads_per_block() == 512
+        assert "partial_agg" in schedule.describe()
+
+    def test_compiler_options_propagate_schedules(self):
+        options = CompilerOptions(gemm_tile_size=32, gemm_coarsening=4, gemm_launch_bounds=128)
+        result = compile_program(build_program("rgcn"), options)
+        gemm = next(k for k in result.plan.forward_kernels if isinstance(k, GemmKernel))
+        assert gemm.schedule.tile_size == 32
+        assert gemm.schedule.coarsening == 4
+        assert gemm.schedule.launch_bounds == 128
+        assert "tile_sz: 32" in result.cuda_source()

@@ -1,0 +1,136 @@
+"""Tests of the inter-op passes: reordering, compact materialization, DCE."""
+
+import pytest
+
+from repro.frontend.config import CompilerOptions
+from repro.ir.inter_op import OpKind, Space
+from repro.ir.inter_op.passes import (
+    CompactMaterializationPass,
+    DeadCodeEliminationPass,
+    LinearOperatorReorderingPass,
+    PassManager,
+    default_pipeline,
+)
+from repro.models import build_program
+
+
+class TestDeadCodeElimination:
+    def test_removes_unconsumed_operator(self):
+        program = build_program("rgat")
+        # attt's producer chain is alive initially.
+        before = len(program.operators)
+        # Mark nothing extra; DCE on a fully-live program removes nothing.
+        result = DeadCodeEliminationPass().run(program.clone())
+        assert len(result.operators) == before
+
+    def test_removes_operators_unreachable_from_outputs(self):
+        program = build_program("rgat").clone()
+        # Make 'out' no longer depend on the attention branch by marking the
+        # attention value itself as the only output of interest.
+        for value in program.values.values():
+            value.is_output = value.name == "hs"
+        result = DeadCodeEliminationPass().run(program)
+        kinds = [op.kind for op in result.operators]
+        assert OpKind.AGGREGATE not in kinds
+        assert OpKind.TYPED_LINEAR in kinds
+
+
+class TestLinearOperatorReordering:
+    def test_rgat_reordering_creates_weight_products_and_removes_ht(self):
+        program = build_program("rgat")
+        optimized = PassManager([LinearOperatorReorderingPass(), DeadCodeEliminationPass()]).run(program)
+        assert optimized.count_kind(OpKind.WEIGHT_PRODUCT) == 2
+        # The destination-side projection (ht) is only needed for the
+        # attention term; after reordering it is dead.
+        assert "ht" not in {op.output for op in optimized.operators}
+        # The message projection (hs) must survive: it feeds aggregation.
+        assert "hs" in {op.output for op in optimized.operators}
+        assert optimized.count_kind(OpKind.TYPED_LINEAR) == 1
+        assert optimized.metadata["reordered_operators"] == 2
+
+    def test_rgat_vec_dots_now_read_raw_features(self):
+        optimized = PassManager([LinearOperatorReorderingPass()]).run(build_program("rgat"))
+        vec_dots = [op for op in optimized.operators if op.kind is OpKind.TYPED_VEC_DOT]
+        assert len(vec_dots) == 2
+        for op in vec_dots:
+            assert op.inputs[0] == "h"
+
+    def test_hgt_reordering_composes_node_and_edge_type_weights(self):
+        program = build_program("hgt")
+        optimized = PassManager([LinearOperatorReorderingPass(), DeadCodeEliminationPass()]).run(program)
+        products = [op for op in optimized.operators if op.kind is OpKind.WEIGHT_PRODUCT]
+        assert len(products) == 2  # W_K @ W_ATT and W_V @ W_MSG
+        assert any(op.attrs.get("compose") == "src_ntype_x_etype" for op in products)
+        outputs = {op.output for op in optimized.operators}
+        assert "K" not in outputs and "V" not in outputs  # both projections are dead
+        assert "Q" in outputs  # the query projection cannot be folded
+
+    def test_rgcn_is_unchanged_by_reordering(self):
+        program = build_program("rgcn")
+        optimized = PassManager([LinearOperatorReorderingPass()]).run(program)
+        assert optimized.count_kind(OpKind.WEIGHT_PRODUCT) == 0
+        assert len(optimized.operators) == len(program.operators)
+
+    def test_reordering_profitability_estimate_positive_for_large_graphs(self):
+        class Workload:
+            num_edges = 100_000
+            num_edge_types = 50
+
+        saved = LinearOperatorReorderingPass.estimated_multiplies_saved(Workload(), 64, 64)
+        assert saved > 0
+
+
+class TestCompactMaterialization:
+    def test_rgat_messages_become_compact(self):
+        optimized = PassManager([CompactMaterializationPass()]).run(build_program("rgat"))
+        assert optimized.values["hs"].space is Space.COMPACT
+        assert optimized.values["atts"].space is Space.COMPACT
+        # Destination-dependent values stay per-edge.
+        assert optimized.values["ht"].space is Space.EDGE
+        assert optimized.values["attt"].space is Space.EDGE
+        assert optimized.values["att_raw"].space is Space.EDGE
+        assert "hs" in optimized.metadata["compacted_values"]
+
+    def test_hgt_messages_become_compact(self):
+        optimized = PassManager([CompactMaterializationPass()]).run(build_program("hgt"))
+        assert optimized.values["k_att"].space is Space.COMPACT
+        assert optimized.values["msg"].space is Space.COMPACT
+        assert optimized.values["att_raw"].space is Space.EDGE
+
+    def test_outputs_are_never_compacted(self):
+        program = build_program("rgat")
+        program.values["hs"].is_output = True
+        optimized = PassManager([CompactMaterializationPass()]).run(program)
+        assert optimized.values["hs"].space is Space.EDGE
+
+    def test_gather_dst_results_are_never_compacted(self):
+        optimized = PassManager([CompactMaterializationPass()]).run(build_program("rgat"))
+        assert optimized.values["att_sum_edges"].space is Space.EDGE
+
+    def test_compaction_composes_with_reordering(self):
+        pipeline = default_pipeline(enable_compaction=True, enable_reordering=True)
+        optimized = pipeline.run(build_program("rgat"))
+        assert optimized.values["atts"].space is Space.COMPACT
+        assert optimized.metadata["compaction_enabled"] is True
+        assert "linear_operator_reordering" in optimized.metadata["applied_passes"]
+        assert "compact_materialization" in optimized.metadata["applied_passes"]
+
+
+class TestPassManager:
+    def test_pass_manager_does_not_mutate_input(self):
+        program = build_program("rgat")
+        default_pipeline(True, True).run(program)
+        assert program.values["hs"].space is Space.EDGE
+        assert program.count_kind(OpKind.WEIGHT_PRODUCT) == 0
+
+    def test_applied_passes_recorded_in_order(self):
+        pipeline = default_pipeline(enable_compaction=True, enable_reordering=True)
+        optimized = pipeline.run(build_program("hgt"))
+        applied = optimized.metadata["applied_passes"]
+        assert applied.index("linear_operator_reordering") < applied.index("compact_materialization")
+
+    def test_configuration_labels(self):
+        assert CompilerOptions().label() == "U"
+        assert CompilerOptions(compact_materialization=True).label() == "C"
+        assert CompilerOptions(linear_operator_reordering=True).label() == "R"
+        assert CompilerOptions(compact_materialization=True, linear_operator_reordering=True).label() == "C+R"

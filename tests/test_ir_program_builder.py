@@ -1,0 +1,160 @@
+"""Tests of the inter-operator level IR: values, operators, builder, validation."""
+
+import pytest
+
+from repro.ir.inter_op import (
+    InterOpProgram,
+    LoopContext,
+    Operator,
+    OpKind,
+    ProgramBuilder,
+    Space,
+    ValueInfo,
+)
+from repro.ir.inter_op.program import IRValidationError
+from repro.ir.inter_op.space import NodeBinding, TypeSelector
+from repro.models import build_program
+
+
+class TestValueInfo:
+    def test_rows_per_space(self):
+        class Workload:
+            num_nodes = 10
+            num_edges = 40
+            num_unique_pairs = 25
+            num_edge_types = 4
+            num_node_types = 2
+
+        workload = Workload()
+        assert ValueInfo("a", Space.NODE, (8,)).rows(workload) == 10
+        assert ValueInfo("b", Space.EDGE, (8,)).rows(workload) == 40
+        assert ValueInfo("c", Space.COMPACT, (8,)).rows(workload) == 25
+        assert ValueInfo("d", Space.WEIGHT, (8, 8), per_type="edge_type").rows(workload) == 4
+        assert ValueInfo("e", Space.WEIGHT, (8, 8), per_type="node_type").rows(workload) == 2
+        assert ValueInfo("f", Space.GLOBAL).rows(workload) == 1
+
+    def test_num_bytes(self):
+        class Workload:
+            num_nodes = 10
+            num_edges = 0
+            num_unique_pairs = 0
+            num_edge_types = 0
+            num_node_types = 0
+
+        value = ValueInfo("a", Space.NODE, (4,), dtype_bytes=4)
+        assert value.num_bytes(Workload()) == 10 * 4 * 4
+
+    def test_copy_with_overrides(self):
+        value = ValueInfo("a", Space.EDGE, (8,))
+        compacted = value.copy_with(space=Space.COMPACT)
+        assert compacted.space is Space.COMPACT
+        assert value.space is Space.EDGE
+
+
+class TestBuilderAndValidation:
+    def test_builder_produces_valid_programs_for_all_models(self):
+        for model in ("rgcn", "rgat", "hgt"):
+            program = build_program(model, in_dim=16, out_dim=16)
+            program.validate()
+            assert program.output_values()
+            assert program.parameter_values()
+            assert program.operators
+
+    def test_duplicate_value_rejected(self):
+        program = InterOpProgram("p")
+        program.add_value(ValueInfo("x", Space.NODE, (4,)))
+        with pytest.raises(IRValidationError):
+            program.add_value(ValueInfo("x", Space.NODE, (4,)))
+
+    def test_operator_with_unknown_value_rejected(self):
+        program = InterOpProgram("p")
+        program.add_value(ValueInfo("x", Space.NODE, (4,), is_input=True))
+        with pytest.raises(IRValidationError):
+            program.add_operator(
+                Operator("op", OpKind.COPY, LoopContext.NODEWISE, ["missing"], "x")
+            )
+
+    def test_use_before_def_detected(self):
+        builder = ProgramBuilder("p", 4, 4)
+        h = builder.input_node_feature("h", 4)
+        weight = builder.weight("W", (4, 4))
+        builder.typed_linear(h, weight, "msg")
+        program = builder.finish()
+        # Manually reorder to create a use-before-def and check validation fails.
+        program.operators.insert(
+            0,
+            Operator("bad", OpKind.COPY, LoopContext.EDGEWISE, ["msg"], "msg_copy"),
+        )
+        program.add_value(ValueInfo("msg_copy", Space.EDGE, (4,)))
+        program.operators = [program.operators[0]] + program.operators[1:]
+        with pytest.raises(IRValidationError):
+            program.validate()
+
+    def test_edgewise_node_operand_requires_binding(self):
+        program = InterOpProgram("p")
+        program.add_value(ValueInfo("h", Space.NODE, (4,), is_input=True))
+        program.add_value(ValueInfo("out", Space.EDGE, (4,)))
+        program.add_operator(
+            Operator("op", OpKind.COPY, LoopContext.EDGEWISE, ["h"], "out")
+        )
+        with pytest.raises(IRValidationError):
+            program.validate()
+
+    def test_typed_operator_requires_selector(self):
+        program = InterOpProgram("p")
+        program.add_value(ValueInfo("x", Space.EDGE, (4,), is_input=True))
+        program.add_value(ValueInfo("W", Space.WEIGHT, (4, 4), per_type="edge_type", is_parameter=True))
+        program.add_value(ValueInfo("y", Space.EDGE, (4,)))
+        program.add_operator(
+            Operator("op", OpKind.TYPED_LINEAR, LoopContext.EDGEWISE, ["x", "W"], "y",
+                     type_selector=TypeSelector.NONE)
+        )
+        with pytest.raises(IRValidationError):
+            program.validate()
+
+    def test_producer_and_consumers(self):
+        program = build_program("rgcn")
+        msg_producer = program.producer_of("msg")
+        assert msg_producer is not None and msg_producer.kind is OpKind.TYPED_LINEAR
+        consumers = program.consumers_of("msg")
+        assert consumers and all("msg" in op.inputs for op in consumers)
+        assert program.producer_of("h") is None  # inputs have no producer
+
+    def test_live_values_and_fresh_names(self):
+        program = build_program("rgat")
+        live = program.live_values()
+        assert "out" in live and "h" in live
+        fresh = program.fresh_name("hs")
+        assert fresh != "hs" and fresh not in program.values
+
+    def test_dump_and_source_lines(self):
+        program = build_program("hgt")
+        dump = program.dump()
+        assert "typed_linear" in dump and "W_ATT" in dump
+        assert program.source_line_count() > 10
+
+    def test_clone_is_independent(self):
+        program = build_program("rgcn")
+        clone = program.clone()
+        clone.values["msg"] = clone.values["msg"].copy_with(space=Space.COMPACT)
+        assert program.values["msg"].space is Space.EDGE
+
+    def test_edge_softmax_helper_expands_to_four_operators(self):
+        builder = ProgramBuilder("p", 4, 4)
+        h = builder.input_node_feature("h", 4)
+        weight = builder.weight("W", (4, 4))
+        msg = builder.typed_linear(h, weight, "msg")
+        scores = builder.typed_vec_dot(msg, builder.weight("w", (4,)), "scores")
+        builder.edge_softmax(scores, "att")
+        program = builder.program
+        kinds = [op.kind for op in program.operators]
+        assert kinds.count(OpKind.UNARY) == 1
+        assert kinds.count(OpKind.AGGREGATE) == 1
+        assert kinds.count(OpKind.GATHER_DST) == 1
+        assert kinds.count(OpKind.BINARY) == 1
+
+    def test_operator_describe_mentions_selector_and_binding(self):
+        program = build_program("rgat")
+        described = [op.describe() for op in program.operators]
+        assert any("etype" in text for text in described)
+        assert any("src" in text for text in described)

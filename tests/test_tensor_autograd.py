@@ -1,0 +1,171 @@
+"""Tests of the tensor substrate's autograd engine against numerical gradients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import Tensor, no_grad
+from repro.tensor.tensor import concat, stack
+
+
+def numerical_gradient(fn, array, index, eps=1e-6):
+    """Central-difference derivative of ``fn`` w.r.t. ``array[index]``."""
+    plus = array.copy()
+    minus = array.copy()
+    plus[index] += eps
+    minus[index] -= eps
+    return (fn(plus) - fn(minus)) / (2 * eps)
+
+
+class TestBasicOps:
+    def test_add_backward_broadcast(self):
+        a = Tensor(np.random.randn(4, 3), requires_grad=True)
+        b = Tensor(np.random.randn(3), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (4, 3)
+        assert b.grad.shape == (3,)
+        np.testing.assert_allclose(b.grad, np.full(3, 4.0))
+
+    def test_mul_backward(self):
+        a = Tensor(np.array([2.0, 3.0]), requires_grad=True)
+        b = Tensor(np.array([4.0, 5.0]), requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, [4.0, 5.0])
+        np.testing.assert_allclose(b.grad, [2.0, 3.0])
+
+    def test_div_backward(self):
+        a = Tensor(np.array([2.0, 6.0]), requires_grad=True)
+        b = Tensor(np.array([4.0, 3.0]), requires_grad=True)
+        (a / b).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.25, 1.0 / 3.0])
+        np.testing.assert_allclose(b.grad, [-2.0 / 16.0, -6.0 / 9.0])
+
+    def test_matmul_gradient_matches_numerical(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((5, 3))
+        w = rng.standard_normal((3, 4))
+        xt = Tensor(x, requires_grad=True)
+        wt = Tensor(w, requires_grad=True)
+        (xt @ wt).sum().backward()
+
+        def loss_x(arr):
+            return (arr @ w).sum()
+
+        def loss_w(arr):
+            return (x @ arr).sum()
+
+        assert abs(numerical_gradient(loss_x, x, (1, 2)) - xt.grad[1, 2]) < 1e-5
+        assert abs(numerical_gradient(loss_w, w, (2, 3)) - wt.grad[2, 3]) < 1e-5
+
+    def test_relu_and_leaky_relu_gradients(self):
+        x = Tensor(np.array([-2.0, 0.5, 3.0]), requires_grad=True)
+        x.relu().sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 1.0])
+        y = Tensor(np.array([-2.0, 0.5, 3.0]), requires_grad=True)
+        y.leaky_relu(0.1).sum().backward()
+        np.testing.assert_allclose(y.grad, [0.1, 1.0, 1.0])
+
+    def test_exp_log_roundtrip_gradient(self):
+        x = Tensor(np.array([0.5, 1.5]), requires_grad=True)
+        x.exp().log().sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0, 1.0], atol=1e-10)
+
+    def test_pow_and_neg(self):
+        x = Tensor(np.array([2.0, 3.0]), requires_grad=True)
+        ((-x) ** 2).sum().backward()
+        np.testing.assert_allclose(x.grad, [4.0, 6.0])
+
+    def test_mean_gradient(self):
+        x = Tensor(np.random.randn(4, 5), requires_grad=True)
+        x.mean().backward()
+        np.testing.assert_allclose(x.grad, np.full((4, 5), 1.0 / 20))
+
+    def test_max_gradient_goes_to_argmax(self):
+        x = Tensor(np.array([1.0, 5.0, 2.0]), requires_grad=True)
+        x.max().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+
+class TestIndexingAndShape:
+    def test_index_select_backward_accumulates_duplicates(self):
+        x = Tensor(np.arange(6.0).reshape(3, 2), requires_grad=True)
+        idx = np.array([0, 0, 2])
+        x.index_select(idx).sum().backward()
+        np.testing.assert_allclose(x.grad, [[2.0, 2.0], [0.0, 0.0], [1.0, 1.0]])
+
+    def test_getitem_tuple_index(self):
+        x = Tensor(np.arange(12.0).reshape(3, 4), requires_grad=True)
+        rows = np.array([0, 1, 2])
+        cols = np.array([1, 2, 3])
+        x[(rows, cols)].sum().backward()
+        expected = np.zeros((3, 4))
+        expected[rows, cols] = 1.0
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_reshape_transpose_roundtrip(self):
+        x = Tensor(np.random.randn(2, 6), requires_grad=True)
+        y = x.reshape(3, 4).transpose()
+        assert y.shape == (4, 3)
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 6)))
+
+    def test_concat_backward_splits_gradient(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones((4, 3)), requires_grad=True)
+        concat([a, b], axis=0).sum().backward()
+        assert a.grad.shape == (2, 3)
+        assert b.grad.shape == (4, 3)
+
+    def test_stack_backward(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        stack([a, b]).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(3))
+        np.testing.assert_allclose(b.grad, np.ones(3))
+
+    def test_unsqueeze_squeeze(self):
+        x = Tensor(np.random.randn(3, 4), requires_grad=True)
+        x.unsqueeze(1).squeeze(1).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((3, 4)))
+
+
+class TestEngineBehaviour:
+    def test_no_grad_disables_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert y._backward is None
+
+    def test_backward_requires_scalar_without_grad(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ValueError):
+            (x * 2).backward()
+
+    def test_grad_accumulates_across_backward_calls(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        (x * 2).sum().backward()
+        (x * 2).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full(3, 4.0))
+
+    def test_detach_stops_gradient(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        (x.detach() * 3).sum()
+        assert x.grad is None
+
+    def test_shared_subexpression_gradient(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * x
+        (y + y).sum().backward()
+        np.testing.assert_allclose(x.grad, [8.0])
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_matmul_shapes_property(self, m, k):
+        x = Tensor(np.random.randn(m, k), requires_grad=True)
+        w = Tensor(np.random.randn(k, 3), requires_grad=True)
+        out = x @ w
+        assert out.shape == (m, 3)
+        out.sum().backward()
+        assert x.grad.shape == (m, k)
+        assert w.grad.shape == (k, 3)

@@ -1,0 +1,134 @@
+"""Tests of the module system, initialisers, and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, init, nn, optim, ops
+
+
+class TestModules:
+    def test_linear_forward_shape_and_bias(self):
+        layer = nn.Linear(4, 3, seed=0)
+        out = layer(Tensor(np.random.randn(5, 4)))
+        assert out.shape == (5, 3)
+        assert layer.bias is not None
+        layer_no_bias = nn.Linear(4, 3, bias=False)
+        assert layer_no_bias.bias is None
+
+    def test_named_parameters_recursive(self):
+        class Wrapper(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = nn.Linear(2, 2)
+                self.scale = nn.Parameter(np.ones(1))
+
+            def forward(self, x):
+                return self.inner(x) * self.scale
+
+        wrapper = Wrapper()
+        names = dict(wrapper.named_parameters())
+        assert "scale" in names
+        assert "inner.weight" in names
+        assert "inner.bias" in names
+        assert wrapper.num_parameters() == 2 * 2 + 2 + 1
+
+    def test_module_list_and_dict(self):
+        layers = nn.ModuleList([nn.Linear(2, 2), nn.Linear(2, 2)])
+        assert len(layers) == 2
+        assert len(list(layers[0].parameters())) == 2
+        assert len([p for _, p in layers.named_parameters()]) == 4
+        mapping = nn.ModuleDict({"a": nn.Linear(2, 2)})
+        assert "a" in mapping
+        assert len([p for _, p in mapping.named_parameters()]) == 2
+
+    def test_train_eval_and_dropout(self):
+        dropout = nn.Dropout(0.5, seed=0)
+        x = Tensor(np.ones((100, 10)))
+        train_out = dropout(x)
+        assert not np.allclose(train_out.data, x.data)
+        dropout.eval()
+        np.testing.assert_allclose(dropout(x).data, x.data)
+
+    def test_dropout_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.5)
+
+    def test_typed_linear_module_strategies_agree(self):
+        rng = np.random.default_rng(0)
+        layer = nn.TypedLinear(3, 4, 5, strategy="segment", seed=1)
+        types = np.sort(rng.integers(0, 3, size=12))
+        x = Tensor(rng.standard_normal((12, 4)))
+        seg = layer(x, types)
+        layer.strategy = "gather"
+        gat = layer(x, types)
+        np.testing.assert_allclose(seg.data, gat.data, atol=1e-12)
+
+    def test_typed_linear_segment_requires_sorted_types(self):
+        layer = nn.TypedLinear(2, 3, 3, strategy="segment")
+        with pytest.raises(ValueError):
+            layer(Tensor(np.random.randn(4, 3)), np.array([1, 0, 1, 0]))
+
+    def test_zero_grad_clears_gradients(self):
+        layer = nn.Linear(3, 2)
+        out = layer(Tensor(np.random.randn(4, 3)))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+
+class TestInit:
+    def test_xavier_bounds(self):
+        weight = init.xavier_uniform((64, 64), seed=0)
+        bound = np.sqrt(6.0 / 128)
+        assert np.abs(weight.data).max() <= bound
+        assert weight.requires_grad
+
+    def test_xavier_stacked_per_type_uses_last_two_dims(self):
+        stacked = init.xavier_uniform((10, 16, 32), seed=0)
+        bound = np.sqrt(6.0 / 48)
+        assert np.abs(stacked.data).max() <= bound
+
+    def test_kaiming_and_uniform_and_zeros(self):
+        assert init.kaiming_uniform((8, 4), seed=1).shape == (8, 4)
+        uniform = init.uniform((5,), low=-0.5, high=0.5, seed=2)
+        assert np.abs(uniform.data).max() <= 0.5
+        np.testing.assert_allclose(init.zeros((3, 3)).data, 0.0)
+
+
+class TestOptimizers:
+    def _quadratic_step(self, optimizer_cls, **kwargs):
+        target = np.array([1.0, -2.0, 3.0])
+        parameter = nn.Parameter(np.zeros(3))
+        optimizer = optimizer_cls([parameter], **kwargs)
+        losses = []
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss = ((parameter - Tensor(target)) ** 2).sum()
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        return parameter, losses
+
+    def test_sgd_converges_on_quadratic(self):
+        parameter, losses = self._quadratic_step(optim.SGD, lr=0.1)
+        assert losses[-1] < 1e-6
+        np.testing.assert_allclose(parameter.data, [1.0, -2.0, 3.0], atol=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        _, losses = self._quadratic_step(optim.SGD, lr=0.05, momentum=0.9)
+        assert losses[-1] < 1e-6
+
+    def test_adam_converges(self):
+        _, losses = self._quadratic_step(optim.Adam, lr=0.1)
+        assert losses[-1] < 1e-4
+
+    def test_optimizer_rejects_empty_parameters(self):
+        with pytest.raises(ValueError):
+            optim.SGD([])
+
+    def test_step_skips_parameters_without_grad(self):
+        parameter = nn.Parameter(np.ones(2))
+        optimizer = optim.SGD([parameter], lr=0.5)
+        optimizer.step()
+        np.testing.assert_allclose(parameter.data, np.ones(2))

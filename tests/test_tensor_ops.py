@@ -1,0 +1,174 @@
+"""Tests of the GNN functional primitives (gather/scatter, segment MM, softmax)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import Tensor, ops
+
+
+class TestGatherScatter:
+    def test_scatter_add_matches_manual_sum(self):
+        values = Tensor(np.arange(8.0).reshape(4, 2), requires_grad=True)
+        idx = np.array([0, 1, 1, 2])
+        out = ops.scatter_add(values, idx, 4)
+        expected = np.zeros((4, 2))
+        for i, target in enumerate(idx):
+            expected[target] += values.data[i]
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_scatter_add_backward_is_gather(self):
+        values = Tensor(np.random.randn(5, 3), requires_grad=True)
+        idx = np.array([0, 0, 1, 2, 2])
+        grad = np.random.randn(3, 3)
+        ops.scatter_add(values, idx, 3).backward(grad)
+        np.testing.assert_allclose(values.grad, grad[idx])
+
+    def test_scatter_mean(self):
+        values = Tensor(np.array([[2.0], [4.0], [6.0]]))
+        out = ops.scatter_mean(values, np.array([0, 0, 1]), 3)
+        np.testing.assert_allclose(out.data, [[3.0], [6.0], [0.0]])
+
+    def test_gather_rows(self):
+        source = Tensor(np.arange(10.0).reshape(5, 2))
+        out = ops.gather_rows(source, [4, 0])
+        np.testing.assert_allclose(out.data, [[8.0, 9.0], [0.0, 1.0]])
+
+
+class TestTypedLinear:
+    def test_segment_mm_matches_per_segment_matmul(self):
+        feats = Tensor(np.random.randn(10, 3), requires_grad=True)
+        weights = Tensor(np.random.randn(3, 3, 4), requires_grad=True)
+        offsets = [0, 2, 7, 10]
+        out = ops.segment_mm(feats, weights, offsets)
+        for t, (start, end) in enumerate(zip(offsets[:-1], offsets[1:])):
+            np.testing.assert_allclose(out.data[start:end], feats.data[start:end] @ weights.data[t])
+
+    def test_segment_mm_rejects_bad_offsets(self):
+        feats = Tensor(np.random.randn(5, 3))
+        weights = Tensor(np.random.randn(2, 3, 4))
+        with pytest.raises(ValueError):
+            ops.segment_mm(feats, weights, [0, 5])
+        with pytest.raises(ValueError):
+            ops.segment_mm(feats, weights, [0, 2, 4])
+
+    def test_segment_mm_empty_segment(self):
+        feats = Tensor(np.random.randn(4, 3))
+        weights = Tensor(np.random.randn(3, 3, 2))
+        out = ops.segment_mm(feats, weights, [0, 0, 4, 4])
+        np.testing.assert_allclose(out.data, feats.data @ weights.data[1])
+
+    def test_gather_and_loop_strategies_agree(self):
+        rng = np.random.default_rng(2)
+        feats = Tensor(rng.standard_normal((20, 4)))
+        weights = Tensor(rng.standard_normal((3, 4, 5)))
+        types = rng.integers(0, 3, size=20)
+        a = ops.typed_linear(feats, weights, types, strategy="gather")
+        b = ops.typed_linear(feats, weights, types, strategy="loop")
+        np.testing.assert_allclose(a.data, b.data, atol=1e-12)
+
+    def test_typed_linear_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            ops.typed_linear(Tensor(np.ones((2, 2))), Tensor(np.ones((1, 2, 2))), [0, 0], strategy="bogus")
+
+    def test_typed_linear_gradients_match_between_strategies(self):
+        rng = np.random.default_rng(3)
+        types = np.sort(rng.integers(0, 2, size=10))
+        grads = {}
+        for strategy in ("gather", "loop"):
+            feats = Tensor(rng.standard_normal((10, 3)), requires_grad=False)
+            feats.data[:] = np.arange(30).reshape(10, 3)
+            weights = Tensor(np.ones((2, 3, 4)), requires_grad=True)
+            out = ops.typed_linear(feats, weights, types, strategy=strategy)
+            out.sum().backward()
+            grads[strategy] = weights.grad
+        np.testing.assert_allclose(grads["gather"], grads["loop"], atol=1e-10)
+
+
+class TestSoftmaxAndLosses:
+    def test_softmax_rows_sum_to_one(self):
+        x = Tensor(np.random.randn(5, 7))
+        out = ops.softmax(x)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(5), atol=1e-12)
+
+    def test_edge_softmax_groups_sum_to_one(self):
+        scores = Tensor(np.random.randn(10))
+        dst = np.array([0, 0, 0, 1, 1, 2, 2, 2, 2, 3])
+        att = ops.edge_softmax(scores, dst, 5)
+        sums = np.zeros(5)
+        np.add.at(sums, dst, att.data)
+        np.testing.assert_allclose(sums[:4], np.ones(4), atol=1e-12)
+        assert sums[4] == 0.0  # node with no incoming edges
+
+    def test_edge_softmax_is_stable_for_large_scores(self):
+        scores = Tensor(np.array([1000.0, 1001.0, 999.0]))
+        att = ops.edge_softmax(scores, np.array([0, 0, 0]), 1)
+        assert np.all(np.isfinite(att.data))
+        np.testing.assert_allclose(att.data.sum(), 1.0)
+
+    def test_edge_softmax_gradient_is_finite(self):
+        scores = Tensor(np.random.randn(6), requires_grad=True)
+        dst = np.array([0, 0, 1, 1, 1, 2])
+        att = ops.edge_softmax(scores, dst, 3)
+        att.sum().backward()
+        assert np.all(np.isfinite(scores.grad))
+
+    def test_cross_entropy_positive_and_decreasing_with_confidence(self):
+        targets = np.array([0, 1])
+        weak = ops.cross_entropy(Tensor(np.zeros((2, 3))), targets)
+        strong = ops.cross_entropy(Tensor(np.array([[5.0, 0, 0], [0, 5.0, 0]])), targets)
+        assert weak.item() > strong.item() > 0
+
+    def test_nll_loss_matches_manual(self):
+        log_probs = Tensor(np.log(np.array([[0.7, 0.3], [0.2, 0.8]])))
+        loss = ops.nll_loss(log_probs, np.array([0, 1]))
+        expected = -(np.log(0.7) + np.log(0.8)) / 2
+        assert abs(loss.item() - expected) < 1e-10
+
+
+class TestSparseKernels:
+    def test_spmm_unweighted_equals_adjacency_matmul(self):
+        rng = np.random.default_rng(4)
+        src = np.array([0, 1, 2, 2])
+        dst = np.array([1, 1, 0, 2])
+        feats = rng.standard_normal((3, 4))
+        out = ops.spmm(src, dst, None, Tensor(feats), 3)
+        dense = np.zeros((3, 3))
+        for s, d in zip(src, dst):
+            dense[d, s] += 1
+        np.testing.assert_allclose(out.data, dense @ feats)
+
+    def test_spmm_weighted(self):
+        src = np.array([0, 1])
+        dst = np.array([0, 0])
+        weights = Tensor(np.array([2.0, 3.0]))
+        feats = Tensor(np.array([[1.0, 1.0], [1.0, 0.0]]))
+        out = ops.spmm(src, dst, weights, feats, 1)
+        np.testing.assert_allclose(out.data, [[5.0, 2.0]])
+
+    def test_sddmm_matches_manual_dots(self):
+        rng = np.random.default_rng(5)
+        a = rng.standard_normal((4, 3))
+        b = rng.standard_normal((4, 3))
+        src = np.array([0, 1, 3])
+        dst = np.array([2, 2, 0])
+        out = ops.sddmm(src, dst, Tensor(a), Tensor(b))
+        expected = np.array([a[s] @ b[d] for s, d in zip(src, dst)])
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_outer_product_shape_and_values(self):
+        a = Tensor(np.array([[1.0, 2.0]]))
+        b = Tensor(np.array([[3.0, 4.0, 5.0]]))
+        out = ops.outer_product(a, b)
+        assert out.shape == (1, 2, 3)
+        np.testing.assert_allclose(out.data[0], np.outer([1, 2], [3, 4, 5]))
+
+    @given(st.integers(min_value=1, max_value=30), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_scatter_add_preserves_total_mass(self, num_edges, dim):
+        rng = np.random.default_rng(num_edges * 13 + dim)
+        values = rng.standard_normal((num_edges, dim))
+        dst = rng.integers(0, 5, size=num_edges)
+        out = ops.scatter_add(Tensor(values), dst, 5)
+        np.testing.assert_allclose(out.data.sum(axis=0), values.sum(axis=0), atol=1e-9)
