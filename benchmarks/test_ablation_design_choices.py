@@ -7,6 +7,8 @@
   (the source of Hector's advantage on small graphs).
 """
 
+import pytest
+
 from repro.baselines.base import gemm_work, per_relation_gemm_works
 from repro.baselines.hector_system import HECTOR_HOST_OVERHEAD_US, HectorSystem
 from repro.evaluation.reporting import format_table
@@ -32,7 +34,6 @@ def test_ablation_gemm_vs_traversal_lowering(benchmark):
         gemm_time = estimate_execution(works, framework_overhead_per_op_us=HECTOR_HOST_OVERHEAD_US).total_time_ms
         demoted = []
         for work in works:
-            clone = kernel_work_from_instance  # keep reference style simple
             work = type(work)(**{**work.__dict__})
             if work.category == "gemm":
                 work.category = "traversal"
@@ -48,6 +49,7 @@ def test_ablation_gemm_vs_traversal_lowering(benchmark):
     assert result["gemm_lowering_ms"] < result["traversal_only_ms"]
 
 
+@pytest.mark.smoke
 def test_ablation_kernel_fusion(benchmark):
     """Fusing adjacent traversal operators reduces launches and end-to-end time."""
     workload = WorkloadSpec.from_dataset("aifb")

@@ -1,9 +1,12 @@
 """Figure 10: memory footprint of HGT with and without compact materialization."""
 
+import pytest
+
 from repro.evaluation import memory_footprint_study
 from repro.evaluation.reporting import format_table
 
 
+@pytest.mark.smoke
 def test_fig10_memory_footprint(benchmark):
     rows = benchmark(memory_footprint_study)
     print()

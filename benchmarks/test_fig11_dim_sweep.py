@@ -1,10 +1,13 @@
 """Figure 11: unoptimised Hector performance across feature dimensions 32/64/128."""
 
+import pytest
+
 from repro.evaluation import dimension_sweep
 from repro.evaluation.reporting import format_table
 from repro.evaluation.sweep import sublinearity_ratios
 
 
+@pytest.mark.smoke
 def test_fig11_dimension_sweep(benchmark):
     rows = benchmark(dimension_sweep)
     print()

@@ -1,9 +1,12 @@
 """Figure 12: architectural metrics of Hector's generated kernels (RGAT, bgs & am)."""
 
+import pytest
+
 from repro.evaluation import architectural_metrics
 from repro.evaluation.reporting import format_table
 
 
+@pytest.mark.smoke
 def test_fig12_architectural_metrics(benchmark):
     rows = benchmark(architectural_metrics)
     print()

@@ -1,9 +1,12 @@
 """Figure 3: inference-time breakdown of Graphiler vs Hector (HGT & RGAT, FB15k & MUTAG)."""
 
+import pytest
+
 from repro.evaluation import inference_time_breakdown
 from repro.evaluation.reporting import format_table
 
 
+@pytest.mark.smoke
 def test_fig3_inference_time_breakdown(benchmark):
     rows = benchmark(inference_time_breakdown)
     print()

@@ -4,8 +4,6 @@ import pytest
 
 from repro.evaluation import run_full_comparison
 from repro.evaluation.reporting import format_table
-from repro.graph.datasets import dataset_names
-from repro.models import MODEL_NAMES
 
 
 def _flatten(results):
@@ -15,6 +13,7 @@ def _flatten(results):
     return rows
 
 
+@pytest.mark.smoke
 def test_fig8b_inference_comparison(benchmark):
     results = benchmark(run_full_comparison, modes=("inference",))
     rows = _flatten(results)

@@ -1,9 +1,12 @@
 """Figure 9: Hector RGAT inference time split by kernel category under U/C/R/C+R."""
 
+import pytest
+
 from repro.evaluation import hector_kernel_breakdown
 from repro.evaluation.reporting import format_table
 
 
+@pytest.mark.smoke
 def test_fig9_hector_kernel_breakdown(benchmark):
     rows = benchmark(hector_kernel_breakdown)
     print()

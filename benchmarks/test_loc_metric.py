@@ -1,9 +1,12 @@
 """Section 4.1 programming-effort metric: tiny model definitions, thousands of generated lines."""
 
+import pytest
+
 from repro.evaluation import programming_effort_metric
 from repro.evaluation.reporting import format_table
 
 
+@pytest.mark.smoke
 def test_loc_programming_effort(benchmark):
     metric = benchmark(programming_effort_metric)
     print()

@@ -1,0 +1,131 @@
+"""Hot-path performance regression: compile-once-run-many throughput.
+
+The serving pattern the ROADMAP targets compiles a model once and executes it
+for many requests.  The seed runtime recompiled the program on every
+``compile_model`` call and allocated every intermediate buffer afresh per
+invocation; the performance layer (compilation cache + buffer-arena memory
+planner + elementwise fusion) must beat that path by at least 2× on the same
+model and graph — this file is the regression gate for it.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.evaluation.reporting import format_table
+from repro.frontend import CompilerOptions, clear_compilation_cache, compile_model, global_compilation_cache
+from repro.graph import random_hetero_graph
+
+#: The seed behaviour: no cache, no arena, no extra fusion.
+SEED_OPTIONS = CompilerOptions(
+    enable_compilation_cache=False,
+    enable_memory_planning=False,
+)
+
+#: The hot-path configuration of the performance layer.
+FAST_OPTIONS = CompilerOptions(fuse_elementwise=True)
+
+
+def _perf_graph():
+    # Sized so one compilation costs a few forward+backward invocations, as
+    # in real serving: large enough to exercise every kernel, small enough
+    # that the benchmark stays well under a minute in CI.
+    return random_hetero_graph(
+        num_nodes=120, num_edges=500, num_node_types=3, num_edge_types=6, seed=7, name="perf"
+    )
+
+
+def _features(graph, dim):
+    return np.random.default_rng(0).standard_normal((graph.num_nodes, dim))
+
+
+def _run_seed_path(model, graph, features, dim, iterations):
+    """One full compile + forward + backward per request (seed behaviour)."""
+    start = time.perf_counter()
+    outputs = None
+    for _ in range(iterations):
+        module = compile_model(model, graph, in_dim=dim, out_dim=dim, options=SEED_OPTIONS)
+        outputs = module.forward(features)
+        module.backward({name: np.ones_like(value) for name, value in outputs.items()})
+    return time.perf_counter() - start, outputs
+
+
+def _run_fast_path(model, graph, features, dim, iterations):
+    """Compile once (cached), then serve every request from the same module."""
+    clear_compilation_cache()
+    start = time.perf_counter()
+    module = compile_model(model, graph, in_dim=dim, out_dim=dim, options=FAST_OPTIONS)
+    outputs = None
+    for _ in range(iterations):
+        outputs = module.forward(features)
+        module.backward({name: np.ones_like(value) for name, value in outputs.items()})
+    elapsed = time.perf_counter() - start
+    return elapsed, outputs
+
+
+@pytest.mark.smoke
+@pytest.mark.parametrize("model", ["rgcn"])
+def test_compile_once_run_many_speedup_smoke(model):
+    _assert_speedup(model, iterations=12)
+
+
+@pytest.mark.parametrize("model", ["rgat", "hgt"])
+def test_compile_once_run_many_speedup(model):
+    _assert_speedup(model, iterations=25)
+
+
+def _assert_speedup(model, iterations):
+    graph = _perf_graph()
+    dim = 16
+    features = _features(graph, dim)
+    seed_time, seed_out = _run_seed_path(model, graph, features, dim, iterations)
+    fast_time, fast_out = _run_fast_path(model, graph, features, dim, iterations)
+    speedup = seed_time / fast_time
+    print()
+    print(format_table(
+        [
+            {
+                "model": model,
+                "iterations": iterations,
+                "seed_path_s": round(seed_time, 4),
+                "fast_path_s": round(fast_time, 4),
+                "speedup": round(speedup, 2),
+            }
+        ],
+        title="Perf regression — compile-once-run-many (cache + arena + fusion) vs seed path",
+    ))
+    # Identical numerics: the fast path is an optimisation, not an approximation.
+    for name in seed_out:
+        np.testing.assert_allclose(seed_out[name], fast_out[name], atol=1e-9)
+    assert speedup >= 2.0, (
+        f"performance layer regressed: {speedup:.2f}x < 2x over the seed path "
+        f"(seed {seed_time:.3f}s, fast {fast_time:.3f}s)"
+    )
+
+
+def test_cache_hits_on_repeated_compilation():
+    """Repeated compile_model calls reuse one compilation result."""
+    clear_compilation_cache()
+    graph = _perf_graph()
+    first = compile_model("rgcn", graph, in_dim=16, out_dim=16, options=FAST_OPTIONS)
+    second = compile_model("rgcn", graph, in_dim=16, out_dim=16, options=FAST_OPTIONS)
+    assert first.plan is second.plan
+    assert first.generated is second.generated
+    stats = global_compilation_cache().stats
+    assert stats.hits >= 1
+
+
+def test_arena_reuses_buffers_across_invocations():
+    """The module's arena binds the same preallocated buffers on every call."""
+    graph = _perf_graph()
+    module = compile_model("rgat", graph, in_dim=16, out_dim=16, options=FAST_OPTIONS)
+    features = _features(graph, 16)
+    assert module.arena is not None
+    first = {k: v.copy() for k, v in module.forward(features).items()}
+    binds_after_first = module.arena.bind_count
+    second = module.forward(features)
+    assert module.arena.bind_count == binds_after_first + 1
+    assert module.arena.bytes_saved() > 0
+    for name in first:
+        np.testing.assert_allclose(first[name], second[name])

@@ -1,9 +1,12 @@
 """Table 1: feature comparison of Hector and prior GNN compilers."""
 
+import pytest
+
 from repro.baselines import feature_table_rows
 from repro.evaluation.reporting import format_table
 
 
+@pytest.mark.smoke
 def test_table1_feature_comparison(benchmark):
     rows = benchmark(feature_table_rows)
     print()

@@ -1,9 +1,12 @@
 """Table 3: heterogeneous graph datasets used in the evaluation."""
 
+import pytest
+
 from repro.evaluation.reporting import format_table
 from repro.graph.datasets import table3_rows
 
 
+@pytest.mark.smoke
 def test_table3_dataset_statistics(benchmark):
     rows = benchmark(table3_rows)
     print()

@@ -1,9 +1,12 @@
 """Table 4: speed-up of Hector (unoptimised and best-optimised) vs the best baseline."""
 
+import pytest
+
 from repro.evaluation import speedup_summary
 from repro.evaluation.reporting import format_table
 
 
+@pytest.mark.smoke
 def test_table4_speedup_summary(benchmark):
     rows = benchmark(speedup_summary)
     print()

@@ -1,10 +1,13 @@
 """Table 5: speed-up from compact materialization (C) and linear operator reordering (R)."""
 
+import pytest
+
 from repro.evaluation import optimization_speedups
 from repro.evaluation.optimizations import best_fixed_strategy
 from repro.evaluation.reporting import format_table
 
 
+@pytest.mark.smoke
 def test_table5_optimization_speedups(benchmark):
     rows = benchmark(optimization_speedups)
     print()

@@ -1,15 +1,4 @@
-"""Setup shim for environments without the `wheel` package (offline installs)."""
-from setuptools import setup, find_packages
+"""Setup shim for legacy tooling; all metadata lives in pyproject.toml."""
+from setuptools import setup
 
-setup(
-    name="repro",
-    version="1.0.0",
-    description=(
-        "Reproduction of Hector: a two-level IR and code-generation framework "
-        "for relational graph neural networks (ASPLOS 2024)"
-    ),
-    package_dir={"": "src"},
-    packages=find_packages(where="src"),
-    python_requires=">=3.10",
-    install_requires=["numpy>=1.24"],
-)
+setup()

@@ -10,7 +10,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.baselines.hector_system import HECTOR_HOST_OVERHEAD_US, HectorSystem
 from repro.baselines.systems import ALL_BASELINES

@@ -17,7 +17,7 @@ from repro.baselines.hector_system import HectorSystem
 from repro.baselines.systems import ALL_BASELINES
 from repro.evaluation.reporting import speedup
 from repro.evaluation.workload import WorkloadSpec
-from repro.frontend.config import CONFIGURATIONS, CompilerOptions
+from repro.frontend.config import CONFIGURATIONS
 from repro.gpu.device import DeviceSpec, RTX_3090
 from repro.graph.datasets import dataset_names
 from repro.models import MODEL_NAMES

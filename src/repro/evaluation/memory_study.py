@@ -1,4 +1,4 @@
-"""Memory footprint and compact materialization study (Figure 10)."""
+"""Memory footprint, compact materialization, and arena planning study (Figure 10)."""
 
 from __future__ import annotations
 
@@ -6,8 +6,9 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.baselines.hector_system import HectorSystem
 from repro.evaluation.workload import WorkloadSpec
-from repro.frontend.config import CONFIGURATIONS
+from repro.frontend.config import CONFIGURATIONS, CompilerOptions
 from repro.graph.datasets import dataset_names, get_dataset_stats
+from repro.runtime.planner import MemoryPlanner
 
 
 def memory_footprint_study(
@@ -21,11 +22,20 @@ def memory_footprint_study(
     For every dataset the row reports the unoptimised inference and training
     footprints (MiB), the fraction of that footprint remaining once compaction
     is enabled, the entity compaction ratio, and the dataset's size statistics
-    that the paper overlays on the same plot.
+    that the paper overlays on the same plot.  Two additional columns report
+    the buffer-arena memory planner: the inference footprint remaining once
+    intermediate buffers with disjoint lifetimes share arena slots
+    (``inference_planned_fraction``), and the arena size relative to naive
+    whole-pass intermediate materialisation (``arena_sharing_fraction``).
+    Slot sharing needs an inference-only plan — training pins every forward
+    intermediate for the backward pass — so the planner columns are computed
+    from the ``emit_backward=False`` compilation of the same configuration.
     """
     datasets = list(datasets) if datasets is not None else dataset_names()
     unopt = HectorSystem(CONFIGURATIONS["U"])
     compact = HectorSystem(CONFIGURATIONS["C"])
+    inference_opts = CompilerOptions(emit_backward=False)
+    inference_system = HectorSystem(inference_opts, name="Hector (U, inference)")
     rows: List[Dict[str, object]] = []
     for dataset in datasets:
         stats = get_dataset_stats(dataset)
@@ -34,6 +44,11 @@ def memory_footprint_study(
         training_unopt = unopt.memory_bytes(model, workload, training=True)
         inference_compact = compact.memory_bytes(model, workload, training=False)
         training_compact = compact.memory_bytes(model, workload, training=True)
+        inference_plan = inference_system.compiled(model, in_dim, out_dim).plan
+        planner = MemoryPlanner(inference_plan)
+        planned = planner.planned_footprint_bytes(workload, training=False)
+        naive_inference = inference_plan.memory_bytes(workload, training=False)
+        memory_plan = planner.plan_memory(workload, training=False)
         rows.append(
             {
                 "dataset": dataset,
@@ -45,6 +60,8 @@ def memory_footprint_study(
                 "training_mem_mib": training_unopt / 2**20,
                 "inference_compact_fraction": inference_compact / inference_unopt,
                 "training_compact_fraction": training_compact / training_unopt,
+                "inference_planned_fraction": planned / naive_inference,
+                "arena_sharing_fraction": memory_plan.sharing_fraction(),
             }
         )
     return rows

@@ -6,7 +6,6 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.evaluation.end_to_end import EndToEndResult, run_full_comparison
 from repro.evaluation.reporting import geometric_mean
-from repro.graph.datasets import dataset_names
 from repro.models import MODEL_NAMES
 
 

@@ -1,5 +1,10 @@
 """Hector programming interface: compiler options, compile entry points, decorator."""
 
+from repro.frontend.cache import (
+    CompilationCache,
+    clear_compilation_cache,
+    global_compilation_cache,
+)
 from repro.frontend.config import CompilerOptions
 from repro.frontend.compiler import (
     CompilationResult,
@@ -11,7 +16,10 @@ from repro.frontend.compiler import (
 __all__ = [
     "CompilerOptions",
     "CompilationResult",
+    "CompilationCache",
     "compile_program",
     "compile_model",
     "hector_compile",
+    "global_compilation_cache",
+    "clear_compilation_cache",
 ]

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
+from repro.frontend.cache import CompilationCache, global_compilation_cache, make_cache_key
 from repro.frontend.config import CompilerOptions
 from repro.graph.hetero_graph import HeteroGraph
 from repro.ir.codegen.cuda_backend import generate_cuda_source
@@ -57,12 +58,32 @@ class CompilationResult:
 def compile_program(
     program: InterOpProgram,
     options: Optional[CompilerOptions] = None,
+    cache: Optional[CompilationCache] = None,
+    graph: Optional[HeteroGraph] = None,
 ) -> CompilationResult:
-    """Optimize, lower, and generate code for an inter-op program."""
+    """Optimize, lower, and generate code for an inter-op program.
+
+    When ``options.enable_compilation_cache`` is set (the default) the global
+    compilation cache — or the explicit ``cache`` argument — is consulted
+    first: a structurally identical program compiled under identical options
+    returns the already-built result without re-running passes, lowering, or
+    code generation.  ``graph``, when given, adds the graph's schema
+    fingerprint to the cache key (``compile_model`` passes it), so entries are
+    qualified by the (program, options, schema) triple the runtime module is
+    specialised for.
+    """
     options = options or CompilerOptions()
+    if cache is None and options.enable_compilation_cache:
+        cache = global_compilation_cache()
+    key = make_cache_key(program, options, graph) if cache is not None else None
+    if cache is not None:
+        cached = cache.lookup(key)
+        if cached is not None:
+            return cached
     pipeline = default_pipeline(
         enable_compaction=options.compact_materialization,
         enable_reordering=options.linear_operator_reordering,
+        enable_elementwise_fusion=options.fuse_elementwise,
     )
     optimized = pipeline.run(program)
     plan = lower_program(
@@ -71,18 +92,28 @@ def compile_program(
             gemm_schedule=options.gemm_schedule(),
             traversal_schedule=options.traversal_schedule(),
             enable_fusion=options.enable_fusion,
+            merge_adjacent_kernels=options.fuse_elementwise,
             emit_backward=options.emit_backward,
         ),
     )
     plan.name = f"{program.name}_{options.label()}"
+    plan.metadata["memory_planning_enabled"] = options.enable_memory_planning
     generated = generate_python_module(plan)
-    return CompilationResult(
+    result = CompilationResult(
         program=program,
         optimized_program=optimized,
         plan=plan,
         generated=generated,
         options=options,
     )
+    if cache is not None:
+        cache.store(key, result)
+    return result
+
+
+#: Memoised inter-op programs keyed by (model, in_dim, out_dim); building the
+#: IR is cheap relative to codegen but still worth skipping on the hot path.
+_PROGRAM_MEMO: Dict[tuple, InterOpProgram] = {}
 
 
 def compile_model(
@@ -95,6 +126,11 @@ def compile_model(
 ) -> CompiledRGNNModule:
     """Compile a named model (``"rgcn"``, ``"rgat"``, ``"hgt"``) for a graph.
 
+    With the compilation cache enabled (the default) repeated calls for the
+    same (model, dimensions, options, graph schema) reuse the compiled plan
+    and generated kernels; only the parameter initialisation and the module
+    binding run per call.
+
     Args:
         model: model name registered in :mod:`repro.models`.
         graph: the heterogeneous graph the module is specialised for.
@@ -104,8 +140,15 @@ def compile_model(
     """
     from repro.models import build_program  # local import to avoid a cycle
 
-    program = build_program(model, in_dim=in_dim, out_dim=out_dim)
-    result = compile_program(program, options)
+    options = options or CompilerOptions()
+    if options.enable_compilation_cache:
+        memo_key = (model, in_dim, out_dim)
+        program = _PROGRAM_MEMO.get(memo_key)
+        if program is None:
+            program = _PROGRAM_MEMO.setdefault(memo_key, build_program(model, in_dim=in_dim, out_dim=out_dim))
+    else:
+        program = build_program(model, in_dim=in_dim, out_dim=out_dim)
+    result = compile_program(program, options, graph=graph)
     return CompiledRGNNModule(result.plan, result.generated, graph, seed=seed)
 
 

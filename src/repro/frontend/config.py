@@ -7,7 +7,7 @@ reordering (``R``), and both (``C+R``) — Table 5 and Figure 9.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.ir.intra_op.schedule import GemmSchedule, TraversalSchedule
@@ -15,7 +15,7 @@ from repro.ir.intra_op.schedule import GemmSchedule, TraversalSchedule
 
 @dataclass
 class CompilerOptions:
-    """Options controlling the pass pipeline, schedules, and lowering.
+    """Options controlling the pass pipeline, schedules, lowering, and runtime.
 
     Attributes:
         compact_materialization: enable the compact materialization pass.
@@ -27,6 +27,27 @@ class CompilerOptions:
         gemm_launch_bounds: optional ``__launch_bounds__`` register cap.
         traversal_rows_per_block: traversal work assignment.
         traversal_partial_aggregation: accumulate partial results before atomics.
+        enable_compilation_cache: reuse :class:`CompilationResult` objects
+            across ``compile_program`` / ``compile_model`` calls.  Results are
+            keyed on the program's structural fingerprint plus every
+            codegen-relevant option, so two models sharing a subprogram (or the
+            same model compiled twice) skip the pass pipeline, lowering, and
+            the ``exec`` of the generated kernels entirely.  The cache is
+            transparent: a hit returns the identical plan and generated module
+            that a fresh compilation would produce.
+        enable_memory_planning: analyse the plan's buffer lifetimes and bind
+            intermediate buffers from a preallocated
+            :class:`repro.runtime.planner.BufferArena` instead of allocating
+            fresh numpy arrays on every forward/backward invocation.
+            Inference-only plans additionally share arena slots between
+            intermediates with disjoint lifetimes.
+        fuse_elementwise: run the
+            :class:`repro.ir.inter_op.passes.ElementwiseFusionPass`
+            (dependence-preserving clustering of traversal-eligible operators
+            so the greedy lowering fuses larger groups) and merge adjacent
+            compatible traversal kernels after lowering.  Disabled by default
+            because it changes kernel counts relative to the paper's figures;
+            the hot-path runtime configurations enable it.
     """
 
     compact_materialization: bool = False
@@ -38,6 +59,9 @@ class CompilerOptions:
     gemm_launch_bounds: Optional[int] = None
     traversal_rows_per_block: int = 128
     traversal_partial_aggregation: bool = True
+    enable_compilation_cache: bool = True
+    enable_memory_planning: bool = True
+    fuse_elementwise: bool = False
 
     def gemm_schedule(self) -> GemmSchedule:
         """Schedule applied to every GEMM-template instance."""
@@ -67,6 +91,26 @@ class CompilerOptions:
     def with_(self, **overrides) -> "CompilerOptions":
         """Return a copy with selected fields replaced."""
         return replace(self, **overrides)
+
+    def cache_key(self) -> tuple:
+        """Hashable key of every option that changes the compiled artefact.
+
+        ``enable_compilation_cache`` is deliberately excluded: it controls
+        whether the cache is consulted, not what is produced.
+        """
+        return (
+            self.compact_materialization,
+            self.linear_operator_reordering,
+            self.enable_fusion,
+            self.emit_backward,
+            self.gemm_tile_size,
+            self.gemm_coarsening,
+            self.gemm_launch_bounds,
+            self.traversal_rows_per_block,
+            self.traversal_partial_aggregation,
+            self.enable_memory_planning,
+            self.fuse_elementwise,
+        )
 
 
 #: The four optimization configurations studied in Table 5 / Figure 9.

@@ -12,8 +12,8 @@ host-side operator call for eager systems.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from repro.gpu.device import DeviceSpec, RTX_3090
 from repro.ir.intra_op.kernels import GemmKernel, KernelInstance, TraversalKernel

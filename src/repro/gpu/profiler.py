@@ -13,9 +13,9 @@ modelled time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, List, Sequence
 
-from repro.gpu.costmodel import KernelTime, KernelWork, estimate_kernel_time
+from repro.gpu.costmodel import KernelWork, estimate_kernel_time
 from repro.gpu.device import DeviceSpec, RTX_3090
 
 

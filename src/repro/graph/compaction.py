@@ -14,7 +14,6 @@ memory-footprint and GEMM-work reduction reported in Figures 9 and 10.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 

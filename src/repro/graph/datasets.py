@@ -20,9 +20,9 @@ fewer relations per source node compact better).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 import numpy as np
 

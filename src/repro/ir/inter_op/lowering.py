@@ -15,11 +15,11 @@ asking each instance for its adjoint(s) (Section 3.5).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.ir.inter_op.operators import Operator, OpKind
 from repro.ir.inter_op.program import InterOpProgram
-from repro.ir.inter_op.space import LoopContext, NodeBinding, Space, TypeSelector, ValueInfo
+from repro.ir.inter_op.space import LoopContext, NodeBinding, Space, ValueInfo
 from repro.ir.intra_op.access import (
     AccessScheme,
     GatherKind,
@@ -36,7 +36,12 @@ from repro.ir.intra_op.kernels import (
     TraversalKernel,
 )
 from repro.ir.intra_op.plan import KernelPlan
-from repro.ir.intra_op.schedule import GemmSchedule, TraversalSchedule
+from repro.ir.intra_op.schedule import (
+    GemmSchedule,
+    TraversalSchedule,
+    merge_traversal_schedules,
+    traversal_schedules_compatible,
+)
 
 
 @dataclass
@@ -47,12 +52,16 @@ class LoweringOptions:
         gemm_schedule: schedule applied to GEMM-template instances.
         traversal_schedule: schedule applied to traversal-template instances.
         enable_fusion: fuse adjacent traversal operators into one kernel.
+        merge_adjacent_kernels: after lowering, merge consecutive traversal
+            kernels that share a domain and a compatible schedule into one
+            fused kernel (see :func:`fuse_adjacent_traversal_kernels`).
         emit_backward: also emit the backward kernel list (training).
     """
 
     gemm_schedule: GemmSchedule = field(default_factory=GemmSchedule)
     traversal_schedule: TraversalSchedule = field(default_factory=TraversalSchedule)
     enable_fusion: bool = True
+    merge_adjacent_kernels: bool = False
     emit_backward: bool = True
 
 
@@ -71,6 +80,9 @@ def lower_program(program: InterOpProgram, options: Optional[LoweringOptions] = 
 
     lowering = _LoweringContext(program, plan, options)
     lowering.run()
+
+    if options.merge_adjacent_kernels and options.enable_fusion:
+        fuse_adjacent_traversal_kernels(plan, program)
 
     if options.emit_backward:
         for kernel in reversed(plan.forward_kernels):
@@ -186,11 +198,7 @@ class _LoweringContext:
     # traversal lowering
     # ------------------------------------------------------------------
     def _domain_of(self, operator: Operator) -> Space:
-        if operator.kind is OpKind.AGGREGATE:
-            return Space.EDGE
-        if operator.context is LoopContext.NODEWISE:
-            return Space.NODE
-        return self.program.values[operator.output].space
+        return self.program.iteration_domain(operator)
 
     def _can_fuse(self, previous: Operator, current: Operator) -> bool:
         if not self.options.enable_fusion:
@@ -315,3 +323,77 @@ class _LoweringContext:
             return 2.0 * m * k * n
         elements = output_info.elements_per_row()
         return float(elements)
+
+
+# ======================================================================
+# post-lowering kernel-level fusion
+# ======================================================================
+def _traversal_mergeable(previous: KernelInstance, current: KernelInstance) -> bool:
+    if not isinstance(previous, TraversalKernel) or not isinstance(current, TraversalKernel):
+        return False
+    if previous.domain is not current.domain:
+        return False
+    if any(op.kind == "scatter_add" for op in previous.micro_ops):
+        # Aggregations close their loop nest; statements after one need the
+        # fully accumulated result, which one grid cannot provide.
+        return False
+    return traversal_schedules_compatible(previous.schedule, current.schedule)
+
+
+def fuse_adjacent_traversal_kernels(plan: KernelPlan, program: Optional[InterOpProgram] = None) -> int:
+    """Merge consecutive compatible traversal kernels of ``plan`` in place.
+
+    Complements the greedy operator-level fusion: once the
+    :class:`~repro.ir.inter_op.passes.ElementwiseFusionPass` (or any other
+    rewrite) has brought traversal kernels next to each other, this pass
+    concatenates their micro-op lists into a single kernel — one launch, one
+    generated function — and, when the producing ``program`` is available,
+    promotes values consumed only inside the merged group to fused locals so
+    they stop being charged global-memory traffic and footprint.
+
+    Returns the number of merges performed.  Must run before backward kernels
+    are emitted (the merged kernel emits one fused adjoint).
+    """
+    merged: List[KernelInstance] = []
+    merges = 0
+    for kernel in plan.forward_kernels:
+        if merged and _traversal_mergeable(merged[-1], kernel):
+            previous = merged[-1]
+            buffer_infos = dict(previous.buffer_infos)
+            buffer_infos.update(kernel.buffer_infos)
+            combined = TraversalKernel(
+                name=previous.name,
+                domain=previous.domain,
+                micro_ops=list(previous.micro_ops) + list(kernel.micro_ops),
+                buffer_infos=buffer_infos,
+                local_values=set(previous.local_values) | set(kernel.local_values),
+                schedule=merge_traversal_schedules(previous.schedule, kernel.schedule),
+                source_ops=list(previous.source_ops) + list(kernel.source_ops),
+            )
+            merged[-1] = combined
+            merges += 1
+        else:
+            merged.append(kernel)
+    if not merges:
+        return 0
+    plan.forward_kernels[:] = merged
+    if program is not None:
+        for kernel in plan.forward_kernels:
+            if isinstance(kernel, TraversalKernel):
+                _promote_fused_locals(plan, program, kernel)
+    plan.metadata["merged_traversal_kernels"] = plan.metadata.get("merged_traversal_kernels", 0) + merges
+    return merges
+
+
+def _promote_fused_locals(plan: KernelPlan, program: InterOpProgram, kernel: TraversalKernel) -> None:
+    """Promote values consumed only within ``kernel``'s operator group to locals."""
+    group_names = set(kernel.source_ops)
+    produced = {op.output for op in kernel.micro_ops}
+    for value_name in produced:
+        info = program.values.get(value_name)
+        if info is None or info.is_output or info.is_input or info.is_parameter:
+            continue
+        consumers = program.consumers_of(value_name)
+        if consumers and all(consumer.name in group_names for consumer in consumers):
+            kernel.local_values.add(value_name)
+            plan.fused_values.add(value_name)

@@ -19,7 +19,7 @@ dead-code elimination:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Set
 
 from repro.ir.inter_op.operators import Operator, OpKind
 from repro.ir.inter_op.program import InterOpProgram
@@ -279,7 +279,102 @@ class CompactMaterializationPass(Pass):
         return True
 
 
-def default_pipeline(enable_compaction: bool, enable_reordering: bool) -> PassManager:
+class ElementwiseFusionPass(Pass):
+    """Cluster traversal-eligible operators so the lowering fuses larger groups.
+
+    The lowering driver (Section 3.2.5) fuses *adjacent* traversal-eligible
+    operators that share an iteration domain into one kernel.  Program order
+    as written frequently interleaves GEMMs and fallback operators between
+    elementwise operators that are otherwise independent, which flushes the
+    greedy fusion window and leaves each elementwise operator in its own
+    kernel.  This pass re-schedules the program — a dependence-preserving
+    topological sort that keeps an open cluster of operators sharing a fusion
+    domain (edge / compact / node space) for as long as the dataflow allows —
+    so the downstream greedy fusion merges whole clusters into single
+    traversal kernels.  Semantics are unchanged: only the order of
+    independent operators moves.
+    """
+
+    name = "elementwise_fusion"
+
+    def run(self, program: InterOpProgram) -> InterOpProgram:
+        program.operators = self._schedule(program)
+        program.metadata["fusion_groups"] = self._count_groups(program)
+        return program
+
+    # ------------------------------------------------------------------
+    def _fusion_key(self, program: InterOpProgram, operator: Operator) -> Optional[Space]:
+        """Cluster key of an operator, or ``None`` if it cannot fuse."""
+        if operator.is_gemm_eligible() or not operator.is_traversal_eligible():
+            return None
+        return program.iteration_domain(operator)
+
+    def _schedule(self, program: InterOpProgram) -> List[Operator]:
+        producer = {op.output: op.name for op in program.operators}
+        remaining_deps: Dict[str, Set[str]] = {}
+        dependants: Dict[str, List[str]] = {}
+        by_name = {op.name: op for op in program.operators}
+        for op in program.operators:
+            deps = {producer[i] for i in op.inputs if i in producer}
+            remaining_deps[op.name] = set(deps)
+            for dep in deps:
+                dependants.setdefault(dep, []).append(op.name)
+        original_index = {op.name: idx for idx, op in enumerate(program.operators)}
+
+        ready = [op.name for op in program.operators if not remaining_deps[op.name]]
+        scheduled: List[Operator] = []
+        current_key: Optional[Space] = None
+        while ready:
+            ready.sort(key=original_index.__getitem__)
+            pick = None
+            if current_key is not None:
+                for name in ready:
+                    if self._fusion_key(program, by_name[name]) is current_key:
+                        pick = name
+                        break
+            if pick is None:
+                # At a cluster boundary, drain GEMM/fallback operators first:
+                # hoisting them unblocks their elementwise consumers, so the
+                # next cluster can absorb operators that an interleaved GEMM
+                # would otherwise have split apart.
+                for name in ready:
+                    if self._fusion_key(program, by_name[name]) is None:
+                        pick = name
+                        break
+            if pick is None:
+                pick = ready[0]
+            ready.remove(pick)
+            operator = by_name[pick]
+            scheduled.append(operator)
+            key = self._fusion_key(program, operator)
+            # An aggregation closes its loop nest (global barrier): start a
+            # fresh cluster after it, exactly like the lowering's fusion rule.
+            current_key = None if operator.kind is OpKind.AGGREGATE else key
+            for dependant in dependants.get(pick, []):
+                remaining_deps[dependant].discard(pick)
+                if not remaining_deps[dependant]:
+                    ready.append(dependant)
+        if len(scheduled) != len(program.operators):  # pragma: no cover - cycle guard
+            raise RuntimeError("elementwise fusion scheduling dropped operators (dependency cycle?)")
+        return scheduled
+
+    def _count_groups(self, program: InterOpProgram) -> int:
+        """Number of maximal fusable clusters in the scheduled order."""
+        groups = 0
+        previous_key: Optional[Space] = None
+        for operator in program.operators:
+            key = self._fusion_key(program, operator)
+            if key is not None and key is not previous_key:
+                groups += 1
+            previous_key = None if operator.kind is OpKind.AGGREGATE else key
+        return groups
+
+
+def default_pipeline(
+    enable_compaction: bool,
+    enable_reordering: bool,
+    enable_elementwise_fusion: bool = False,
+) -> PassManager:
     """The standard pass pipeline for a given optimization configuration."""
     manager = PassManager()
     if enable_reordering:
@@ -287,4 +382,6 @@ def default_pipeline(enable_compaction: bool, enable_reordering: bool) -> PassMa
     if enable_compaction:
         manager.add(CompactMaterializationPass())
     manager.add(DeadCodeEliminationPass())
+    if enable_elementwise_fusion:
+        manager.add(ElementwiseFusionPass())
     return manager

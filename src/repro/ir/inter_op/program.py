@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Set
 
 from repro.ir.inter_op.operators import Operator, OpKind
 from repro.ir.inter_op.space import LoopContext, NodeBinding, Space, TypeSelector, ValueInfo
@@ -84,6 +84,19 @@ class InterOpProgram:
 
     def operators_in_context(self, context: LoopContext) -> List[Operator]:
         return [op for op in self.operators if op.context is context]
+
+    def iteration_domain(self, operator: Operator) -> Space:
+        """The space an operator's kernel iterates over when lowered.
+
+        Shared by the lowering driver's template grouping and the elementwise
+        fusion pass's clustering, which must agree on domains for clusters to
+        actually fuse.
+        """
+        if operator.kind is OpKind.AGGREGATE:
+            return Space.EDGE
+        if operator.context is LoopContext.NODEWISE:
+            return Space.NODE
+        return self.values[operator.output].space
 
     def count_kind(self, kind: OpKind) -> int:
         return sum(1 for op in self.operators if op.kind is kind)

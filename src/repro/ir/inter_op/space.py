@@ -10,7 +10,7 @@ unchanged, exactly as the paper's decoupling of semantics and layout intends.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 

@@ -12,12 +12,11 @@ Every instance knows
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.ir.inter_op.space import Space, ValueInfo
-from repro.ir.intra_op.access import AccessScheme, GatherKind, ScatterKind, gather_scheme, scatter_scheme
+from repro.ir.intra_op.access import AccessScheme, GatherKind
 from repro.ir.intra_op.schedule import GemmSchedule, TraversalSchedule
 
 FLOAT_BYTES = 4

@@ -9,10 +9,10 @@ model, the memory/OOM model, and the runtime executor all operate on plans.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, List, Set
 
-from repro.ir.inter_op.space import Space, ValueInfo
-from repro.ir.intra_op.kernels import FallbackKernel, GemmKernel, KernelInstance, TraversalKernel
+from repro.ir.inter_op.space import ValueInfo
+from repro.ir.intra_op.kernels import KernelInstance
 
 
 @dataclass

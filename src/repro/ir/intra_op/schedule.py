@@ -83,3 +83,23 @@ class TraversalSchedule:
             f"{{rows/block: {self.rows_per_block}, threads/row: {self.threads_per_row}, "
             f"partial_agg: {self.partial_aggregation}}}"
         )
+
+
+def traversal_schedules_compatible(a: TraversalSchedule, b: TraversalSchedule) -> bool:
+    """Whether two traversal instances can share one fused kernel launch.
+
+    Fused micro-ops execute inside a single grid, so the work assignment and
+    the partial-aggregation strategy must agree.
+    """
+    return (
+        a.rows_per_block == b.rows_per_block
+        and a.threads_per_row == b.threads_per_row
+        and a.partial_aggregation == b.partial_aggregation
+    )
+
+
+def merge_traversal_schedules(a: TraversalSchedule, b: TraversalSchedule) -> TraversalSchedule:
+    """Schedule of the kernel obtained by fusing two traversal instances."""
+    if not traversal_schedules_compatible(a, b):
+        raise ValueError(f"cannot merge incompatible traversal schedules {a.describe()} / {b.describe()}")
+    return a

@@ -22,7 +22,6 @@ from __future__ import annotations
 import math
 from typing import Dict
 
-import numpy as np
 
 from repro.graph.hetero_graph import HeteroGraph
 from repro.ir.inter_op.builder import ProgramBuilder

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from typing import Dict
 
-import numpy as np
 
 from repro.graph.hetero_graph import HeteroGraph
 from repro.ir.inter_op.builder import ProgramBuilder

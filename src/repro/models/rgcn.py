@@ -18,7 +18,7 @@ import numpy as np
 from repro.graph.hetero_graph import HeteroGraph
 from repro.ir.inter_op.builder import ProgramBuilder
 from repro.ir.inter_op.program import InterOpProgram
-from repro.ir.inter_op.space import LoopContext, NodeBinding, TypeSelector
+from repro.ir.inter_op.space import LoopContext, NodeBinding
 from repro.models.common import ReferenceRGNNLayer
 from repro.tensor import ops
 from repro.tensor.tensor import Tensor

@@ -1,9 +1,10 @@
-"""Hector runtime: graph context, kernel executor, memory tracking, compiled modules."""
+"""Hector runtime: graph context, kernel executor, memory planning, compiled modules."""
 
 from repro.runtime.context import GraphContext
 from repro.runtime.executor import PlanExecutor
 from repro.runtime.memory import MemoryModel, OutOfMemoryError
 from repro.runtime.module import CompiledRGNNModule
+from repro.runtime.planner import BufferArena, BufferLifetime, MemoryPlan, MemoryPlanner
 
 __all__ = [
     "GraphContext",
@@ -11,4 +12,8 @@ __all__ = [
     "MemoryModel",
     "OutOfMemoryError",
     "CompiledRGNNModule",
+    "BufferArena",
+    "BufferLifetime",
+    "MemoryPlan",
+    "MemoryPlanner",
 ]

@@ -11,12 +11,15 @@ weights inside edge-type segments.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
-from typing import Dict, Optional
 
 import numpy as np
 
 from repro.graph.hetero_graph import HeteroGraph
+
+#: Per-graph memo of preprocessed contexts; entries die with their graph.
+_CONTEXT_CACHE: "weakref.WeakKeyDictionary[HeteroGraph, GraphContext]" = weakref.WeakKeyDictionary()
 
 
 @dataclass
@@ -73,6 +76,20 @@ class GraphContext:
             etype_to_src_ntype=etype_to_src,
             etype_to_dst_ntype=etype_to_dst,
         )
+
+    @classmethod
+    def cached(cls, graph: HeteroGraph) -> "GraphContext":
+        """Memoised :meth:`from_graph`: one preprocessing per graph object.
+
+        Compiled modules bound to the same graph share the index arrays (they
+        are read-only at runtime), so repeated ``compile_model`` calls skip
+        the segment/compaction preprocessing entirely.
+        """
+        ctx = _CONTEXT_CACHE.get(graph)
+        if ctx is None:
+            ctx = cls.from_graph(graph)
+            _CONTEXT_CACHE[graph] = ctx
+        return ctx
 
     def degree_normalization(self) -> np.ndarray:
         """Per-edge ``1 / c_{v,r}`` factors (RGCN normalisation)."""

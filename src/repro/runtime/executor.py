@@ -2,26 +2,36 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Dict, Mapping, Optional
 
 import numpy as np
 
 from repro.ir.codegen.python_backend import GeneratedModule
 from repro.ir.intra_op.plan import KernelPlan
 from repro.runtime.context import GraphContext
+from repro.runtime.planner import BufferArena
 
 
 class PlanExecutor:
     """Runs the generated forward and backward kernels of a plan.
 
-    The executor owns no state beyond the plan and its generated functions;
-    callers pass the buffer environment explicitly, which makes it easy for
-    tests to inspect every intermediate value.
+    The executor owns no state beyond the plan, its generated functions, and
+    an optional :class:`~repro.runtime.planner.BufferArena`; callers pass the
+    buffer environment explicitly, which makes it easy for tests to inspect
+    every intermediate value.  When an arena is attached, intermediate
+    buffers are bound from its preallocated slots before each run instead of
+    being freshly allocated by the generated kernels.
     """
 
-    def __init__(self, plan: KernelPlan, generated: GeneratedModule):
+    def __init__(
+        self,
+        plan: KernelPlan,
+        generated: GeneratedModule,
+        arena: Optional[BufferArena] = None,
+    ):
         self.plan = plan
         self.generated = generated
+        self.arena = arena
 
     # ------------------------------------------------------------------
     def run_forward(self, env: Dict[str, np.ndarray], ctx: GraphContext) -> Dict[str, np.ndarray]:
@@ -33,8 +43,14 @@ class PlanExecutor:
             ctx: graph context with the index arrays the access schemes read.
         """
         self._check_inputs(env)
-        for kernel in self.plan.forward_kernels:
-            self.generated.forward_functions[kernel.name](env, ctx)
+        if self.arena is not None:
+            self.arena.bind(env)
+        program = self.generated.forward_program
+        if program is not None:
+            program(env, ctx)
+        else:
+            for kernel in self.plan.forward_kernels:
+                self.generated.forward_functions[kernel.name](env, ctx)
         return env
 
     def run_backward(
@@ -53,17 +69,23 @@ class PlanExecutor:
         """
         # Seed gradients: outputs from the caller, every other forward-written
         # buffer with zeros so adjoint kernels can accumulate unconditionally.
+        # Seeds take the dtype of the forward buffer they pair with, so
+        # float32 environments do not silently upcast their gradients.
         for name, grad in output_grads.items():
             if name not in env:
                 raise KeyError(f"output {name!r} not present in the forward environment")
-            env[f"grad_{name}"] = np.array(grad, dtype=np.float64, copy=True)
+            env[f"grad_{name}"] = np.array(grad, dtype=env[name].dtype, copy=True)
         for kernel in self.plan.forward_kernels:
             for name in kernel.written_buffers():
                 grad_name = f"grad_{name}"
                 if grad_name not in env and name in env:
-                    env[grad_name] = np.zeros_like(env[name], dtype=np.float64)
-        for kernel in self.plan.backward_kernels:
-            self.generated.backward_functions[kernel.name](env, ctx)
+                    env[grad_name] = np.zeros_like(env[name])
+        program = self.generated.backward_program
+        if program is not None:
+            program(env, ctx)
+        else:
+            for kernel in self.plan.backward_kernels:
+                self.generated.backward_functions[kernel.name](env, ctx)
         return env
 
     # ------------------------------------------------------------------

@@ -19,6 +19,7 @@ from repro.ir.inter_op.space import Space, ValueInfo
 from repro.ir.intra_op.plan import KernelPlan
 from repro.runtime.context import GraphContext
 from repro.runtime.executor import PlanExecutor
+from repro.runtime.planner import MemoryPlanner
 from repro.tensor import init as tensor_init
 from repro.tensor.nn import Parameter
 
@@ -45,8 +46,15 @@ class CompiledRGNNModule:
         self.plan = plan
         self.generated = generated
         self.graph = graph
-        self.ctx = GraphContext.from_graph(graph)
-        self.executor = PlanExecutor(plan, generated)
+        self.ctx = GraphContext.cached(graph)
+        self.arena = None
+        if plan.metadata.get("memory_planning_enabled"):
+            # Preallocate the intermediate buffers once; every forward (and
+            # backward) invocation then reuses the same arena-backed arrays
+            # instead of allocating afresh.  Arenas are per-module — modules
+            # sharing a cached plan must not share buffers.
+            self.arena = MemoryPlanner(plan).build_arena(self.ctx)
+        self.executor = PlanExecutor(plan, generated, arena=self.arena)
         self.parameters_by_name: Dict[str, Parameter] = {}
         self._init_parameters(seed)
         self._last_env: Optional[Dict[str, np.ndarray]] = None

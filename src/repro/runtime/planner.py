@@ -1,0 +1,379 @@
+"""Buffer-lifetime analysis and arena memory planning for kernel plans.
+
+The seed executor allocated every intermediate buffer afresh on each
+forward/backward invocation — correct, but the allocator churn dominates the
+compile-once-run-many serving pattern the paper targets.  This module closes
+that gap in two steps:
+
+1. :class:`MemoryPlanner` scans a :class:`~repro.ir.intra_op.plan.KernelPlan`
+   in execution order and derives a *lifetime interval* (first write → last
+   use) for every intermediate buffer, then packs the intervals into arena
+   *slots* with a greedy linear-scan: two buffers share a slot exactly when
+   their lifetimes are disjoint, so the slot's size is the maximum — not the
+   sum — of its occupants.  Training plans keep every forward intermediate
+   alive through the backward pass (the adjoint kernels re-read them), so
+   slot sharing only kicks in for inference plans; the cross-invocation reuse
+   below applies to both.
+
+2. :class:`BufferArena` materialises the slots as preallocated numpy arrays
+   for one concrete graph.  ``bind`` installs slot-backed views into the
+   executor's buffer environment before each run, so generated kernels write
+   into memory that persists across invocations instead of triggering fresh
+   allocations every call.
+
+The planner also runs in a purely analytic mode against a
+:class:`~repro.evaluation.workload.WorkloadSpec` (no arrays allocated), which
+is how the Figure 10 memory study reports the footprint the arena schedule
+achieves relative to naive whole-pass materialisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.ir.intra_op.kernels import GemmKernel, TraversalKernel
+from repro.ir.intra_op.plan import KernelPlan
+from repro.runtime.memory import MemoryModel
+
+
+@dataclass
+class BufferLifetime:
+    """Lifetime of one intermediate buffer over the plan's kernel schedule.
+
+    Attributes:
+        name: buffer name (a key of ``plan.buffers``).
+        start: index (into forward+backward kernel order) of the first write.
+        end: index of the last read or write.
+    """
+
+    name: str
+    start: int
+    end: int
+
+    def overlaps(self, other: "BufferLifetime") -> bool:
+        """Whether two lifetimes are simultaneously live at some point."""
+        return self.start <= other.end and other.start <= self.end
+
+
+@dataclass
+class MemoryPlan:
+    """The arena allocation schedule the planner produced for one plan.
+
+    Attributes:
+        plan_name: name of the kernel plan this schedule belongs to.
+        lifetimes: per-buffer lifetime intervals, in ``start`` order.
+        slot_of: buffer name → arena slot index.
+        slot_elements: per-slot capacity in scalar elements (max over occupants).
+        element_counts: per-buffer element counts used for the packing.
+    """
+
+    plan_name: str
+    lifetimes: List[BufferLifetime] = field(default_factory=list)
+    slot_of: Dict[str, int] = field(default_factory=dict)
+    slot_elements: List[int] = field(default_factory=list)
+    element_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def num_slots(self) -> int:
+        return len(self.slot_elements)
+
+    @property
+    def num_buffers(self) -> int:
+        return len(self.slot_of)
+
+    def arena_elements(self) -> int:
+        """Total arena capacity in scalar elements."""
+        return int(sum(self.slot_elements))
+
+    def naive_elements(self) -> int:
+        """Elements a fresh-allocation-per-buffer strategy materialises."""
+        return int(sum(self.element_counts.values()))
+
+    def sharing_fraction(self) -> float:
+        """Arena size as a fraction of naive materialisation (≤ 1)."""
+        naive = self.naive_elements()
+        return self.arena_elements() / naive if naive else 1.0
+
+
+class MemoryPlanner:
+    """Derives lifetimes and arena schedules from a kernel plan."""
+
+    def __init__(self, plan: KernelPlan):
+        self.plan = plan
+
+    # ------------------------------------------------------------------
+    # lifetime analysis
+    # ------------------------------------------------------------------
+    def intermediate_names(self) -> List[str]:
+        """Buffers the executor owns: neither inputs, parameters, nor outputs."""
+        excluded = set(self.plan.input_names) | set(self.plan.parameter_names) | set(self.plan.output_names)
+        return [name for name in self.plan.buffers if name not in excluded]
+
+    def inplace_written_names(self) -> Set[str]:
+        """Intermediates the generated kernels write *in place* (via ``_ensure``).
+
+        Only these benefit from preallocated arena buffers at runtime: GEMM
+        outputs and scatter-add accumulators.  Elementwise micro-ops rebind
+        their ``env`` entry to a fresh expression result, so binding arena
+        views for them would be dead weight.  The analytic planning mode
+        (:meth:`plan_memory` without a filter) still covers every
+        intermediate — it models a backend that writes all outputs in place,
+        as the CUDA backend does.
+        """
+        names: Set[str] = set()
+        for kernel in self.plan.forward_kernels:
+            if isinstance(kernel, GemmKernel):
+                names.add(kernel.y.buffer)
+            elif isinstance(kernel, TraversalKernel):
+                for op in kernel.micro_ops:
+                    if op.kind == "scatter_add":
+                        names.add(op.output)
+        return names & set(self.intermediate_names())
+
+    def lifetimes(self, training: Optional[bool] = None) -> List[BufferLifetime]:
+        """Lifetime intervals of every intermediate buffer, in start order.
+
+        Args:
+            training: whether the backward pass will run.  Defaults to "the
+                plan has backward kernels".  Under training every forward
+                intermediate is pinned until the last backward kernel — the
+                adjoint kernels re-read forward values, so nothing may be
+                overwritten early.
+        """
+        if training is None:
+            training = bool(self.plan.backward_kernels)
+        schedule = list(self.plan.forward_kernels)
+        if training:
+            schedule += list(self.plan.backward_kernels)
+        first_write: Dict[str, int] = {}
+        last_use: Dict[str, int] = {}
+        for index, kernel in enumerate(schedule):
+            for name in kernel.written_buffers():
+                first_write.setdefault(name, index)
+                last_use[name] = index
+            for name in kernel.read_buffers():
+                if name in first_write:
+                    last_use[name] = index
+        horizon = len(schedule) - 1
+        intervals: List[BufferLifetime] = []
+        for name in self.intermediate_names():
+            if name not in first_write:
+                continue  # never materialised by this schedule (e.g. fused away)
+            end = horizon if training else last_use[name]
+            intervals.append(BufferLifetime(name=name, start=first_write[name], end=end))
+        intervals.sort(key=lambda interval: (interval.start, interval.name))
+        return intervals
+
+    # ------------------------------------------------------------------
+    # slot packing
+    # ------------------------------------------------------------------
+    def _element_count(self, name: str, sizes) -> int:
+        info = self.plan.buffers[name]
+        return int(info.rows(sizes)) * info.elements_per_row()
+
+    def plan_memory(
+        self,
+        sizes,
+        training: Optional[bool] = None,
+        only: Optional[Iterable[str]] = None,
+    ) -> MemoryPlan:
+        """Pack intermediate lifetimes into arena slots for given sizes.
+
+        Args:
+            sizes: any object exposing ``num_nodes`` / ``num_edges`` /
+                ``num_unique_pairs`` / ``num_edge_types`` / ``num_node_types``
+                (a :class:`~repro.evaluation.workload.WorkloadSpec`, or the
+                adapter built from a :class:`~repro.runtime.context.GraphContext`).
+            training: see :meth:`lifetimes`.
+            only: restrict the packing to these buffer names (the runtime
+                arena passes :meth:`inplace_written_names`); ``None`` packs
+                every intermediate (analytic mode).
+        """
+        intervals = self.lifetimes(training)
+        if only is not None:
+            allowed = set(only)
+            intervals = [interval for interval in intervals if interval.name in allowed]
+        element_counts = {interval.name: self._element_count(interval.name, sizes) for interval in intervals}
+        slot_elements: List[int] = []
+        slot_free_after: List[int] = []
+        slot_of: Dict[str, int] = {}
+        # Greedy linear scan over intervals sorted by start: reuse the first
+        # slot whose previous occupant died before this buffer is born.
+        for interval in intervals:
+            chosen = None
+            for slot, free_after in enumerate(slot_free_after):
+                if free_after < interval.start:
+                    chosen = slot
+                    break
+            if chosen is None:
+                chosen = len(slot_elements)
+                slot_elements.append(0)
+                slot_free_after.append(-1)
+            slot_of[interval.name] = chosen
+            slot_elements[chosen] = max(slot_elements[chosen], element_counts[interval.name])
+            slot_free_after[chosen] = max(slot_free_after[chosen], interval.end)
+        return MemoryPlan(
+            plan_name=self.plan.name,
+            lifetimes=intervals,
+            slot_of=slot_of,
+            slot_elements=slot_elements,
+            element_counts=element_counts,
+        )
+
+    # ------------------------------------------------------------------
+    # analytic footprint (memory study)
+    # ------------------------------------------------------------------
+    def planned_footprint_bytes(self, workload, training: bool = False) -> float:
+        """Peak footprint under the arena schedule, comparable to
+        :meth:`KernelPlan.memory_bytes`.
+
+        Inputs, parameters, outputs, gradients, and graph index arrays are
+        charged exactly as in the naive model; only the intermediate buffers
+        are replaced by the packed arena slots.
+        """
+        plan = self.plan
+        memory_plan = self.plan_memory(workload, training=training)
+        arena_ids = set(memory_plan.slot_of)
+        total = 0.0
+        dtype_bytes = 4
+        for name, info in plan.buffers.items():
+            if name in plan.fused_values or name in arena_ids:
+                continue
+            total += info.num_bytes(workload)
+        for slot_capacity in memory_plan.slot_elements:
+            total += slot_capacity * dtype_bytes
+        if training:
+            # One gradient buffer per materialised value, as in the naive model.
+            for info in plan.materialized_buffers():
+                total += info.num_bytes(workload)
+        total += 3 * workload.num_edges * 8
+        if plan.metadata.get("compaction_enabled"):
+            total += workload.num_edges * 8 + workload.num_unique_pairs * 16
+        return total
+
+    def naive_peak_bytes(self, workload, training: bool = False) -> float:
+        """Peak of alloc-at-first-write / free-after-last-read execution.
+
+        Simulated through :class:`~repro.runtime.memory.MemoryModel`, so the
+        planner's savings are measured against the best a non-arena allocator
+        could do, not just against whole-pass materialisation.
+        """
+        intervals = self.lifetimes(training=training)
+        model = MemoryModel(capacity_bytes=float("inf"))
+        persistent = 0.0
+        arena_ids = {interval.name for interval in intervals}
+        for name, info in self.plan.buffers.items():
+            if name in self.plan.fused_values or name in arena_ids:
+                continue
+            persistent += info.num_bytes(workload)
+        model.allocate("persistent", persistent)
+        events: List[Tuple[int, int, BufferLifetime]] = []
+        for interval in intervals:
+            events.append((interval.start, 1, interval))
+            events.append((interval.end + 1, 0, interval))
+        for _, kind, interval in sorted(events, key=lambda e: (e[0], e[1])):
+            if kind == 0:
+                model.free(interval.name)
+            else:
+                model.allocate(interval.name, self.plan.buffers[interval.name].num_bytes(workload))
+        return model.peak_allocated()
+
+    # ------------------------------------------------------------------
+    # runtime arena
+    # ------------------------------------------------------------------
+    def build_arena(self, ctx, dtype=np.float64, training: Optional[bool] = None) -> "BufferArena":
+        """Materialise the arena for one concrete graph context.
+
+        Only buffers the Python backend writes in place are bound (see
+        :meth:`inplace_written_names`); binding views for elementwise results
+        that get rebound anyway would claim savings that never materialise.
+        """
+        sizes = _ContextSizes.from_context(ctx)
+        memory_plan = self.plan_memory(sizes, training=training, only=self.inplace_written_names())
+        shapes: Dict[str, Tuple[int, ...]] = {}
+        for interval in memory_plan.lifetimes:
+            info = self.plan.buffers[interval.name]
+            shapes[interval.name] = (int(info.rows(sizes)),) + tuple(int(d) for d in info.feature_shape)
+        return BufferArena(memory_plan, shapes, dtype=dtype)
+
+
+@dataclass
+class _ContextSizes:
+    """Adapter presenting a :class:`GraphContext` through the workload-sizes API."""
+
+    num_nodes: int
+    num_edges: int
+    num_unique_pairs: int
+    num_edge_types: int
+    num_node_types: int
+
+    @classmethod
+    def from_context(cls, ctx) -> "_ContextSizes":
+        return cls(
+            num_nodes=int(ctx.num_nodes),
+            num_edges=int(ctx.num_edges),
+            num_unique_pairs=int(ctx.num_unique),
+            num_edge_types=int(ctx.num_etypes),
+            num_node_types=int(ctx.num_ntypes),
+        )
+
+
+class BufferArena:
+    """Preallocated slot-backed buffers reused across executor invocations.
+
+    Args:
+        memory_plan: the slot schedule produced by :class:`MemoryPlanner`.
+        shapes: concrete per-buffer shapes for the bound graph.
+        dtype: element dtype of every arena buffer (the runtime default is
+            float64, matching the generated numpy kernels).
+    """
+
+    def __init__(self, memory_plan: MemoryPlan, shapes: Dict[str, Tuple[int, ...]], dtype=np.float64):
+        self.memory_plan = memory_plan
+        self.dtype = np.dtype(dtype)
+        self._slabs: List[np.ndarray] = [
+            np.zeros(int(capacity), dtype=self.dtype) for capacity in memory_plan.slot_elements
+        ]
+        self._views: Dict[str, np.ndarray] = {}
+        for name, slot in memory_plan.slot_of.items():
+            shape = shapes[name]
+            elements = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            self._views[name] = self._slabs[slot][:elements].reshape(shape)
+        self.bind_count = 0
+
+    # ------------------------------------------------------------------
+    def bind(self, env: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Install the arena-backed views into an executor environment.
+
+        Caller-provided entries (inputs, parameters, anything already present)
+        are never overwritten.  The generated ``_ensure`` helper zero-fills
+        reused buffers, so bound views behave exactly like fresh allocations.
+        """
+        for name, view in self._views.items():
+            if name not in env:
+                env[name] = view
+        self.bind_count += 1
+        return env
+
+    def buffer(self, name: str) -> np.ndarray:
+        """The arena-backed array of one planned buffer."""
+        return self._views[name]
+
+    @property
+    def managed_names(self) -> List[str]:
+        return list(self._views)
+
+    def arena_bytes(self) -> int:
+        """Bytes held by the arena slabs."""
+        return int(sum(slab.nbytes for slab in self._slabs))
+
+    def naive_bytes_per_invocation(self) -> int:
+        """Bytes a fresh-allocation execution would allocate per invocation."""
+        return int(self.memory_plan.naive_elements() * self.dtype.itemsize)
+
+    def bytes_saved(self) -> int:
+        """Cumulative allocation traffic avoided across all binds so far."""
+        return max(0, self.bind_count - 1) * self.naive_bytes_per_invocation()

@@ -13,7 +13,6 @@ from repro.baselines import (
 from repro.baselines.base import backward_works
 from repro.evaluation.workload import WorkloadSpec
 from repro.frontend.config import CONFIGURATIONS
-from repro.gpu.device import RTX_3090
 from repro.runtime.memory import MemoryModel, OutOfMemoryError, check_footprint
 
 

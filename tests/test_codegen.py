@@ -1,7 +1,6 @@
 """Tests of the Python, CUDA-text, and host-code backends."""
 
 import numpy as np
-import pytest
 
 from repro.frontend.compiler import compile_program
 from repro.frontend.config import CONFIGURATIONS, CompilerOptions

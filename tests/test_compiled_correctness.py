@@ -8,7 +8,7 @@ implementation built on the autograd tensor substrate.
 import numpy as np
 import pytest
 
-from repro.frontend import CompilerOptions, compile_model
+from repro.frontend import compile_model
 from repro.frontend.config import CONFIGURATIONS
 from repro.models import MODEL_NAMES, REFERENCE_CLASSES
 

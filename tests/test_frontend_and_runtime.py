@@ -5,7 +5,6 @@ import pytest
 
 from repro.frontend import CompilerOptions, compile_model, compile_program, hector_compile
 from repro.frontend.config import CONFIGURATIONS
-from repro.ir.inter_op.builder import ProgramBuilder
 from repro.models import build_program
 from repro.runtime import GraphContext, PlanExecutor
 from repro.ir.codegen import generate_python_module
@@ -86,9 +85,6 @@ class TestFrontend:
         # Manual check: sum of transformed source features per destination.
         W = module.parameters_by_name["W"].data
         expected = np.zeros_like(out)
-        transformed = features[small_graph.edge_src] @ np.array(
-            [W[t] for t in small_graph.edge_type]
-        ).reshape(small_graph.num_edges, dim, dim) if False else None
         msg = np.einsum("ed,edf->ef", features[small_graph.edge_src],
                         W[small_graph.edge_type])
         np.add.at(expected, small_graph.edge_dst, msg)

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.graph import build_compaction_index, load_dataset, random_hetero_graph
+from repro.graph import build_compaction_index, load_dataset
 from repro.graph.datasets import DATASETS, dataset_names, get_dataset_stats, table3_rows
 
 

@@ -4,12 +4,7 @@ import numpy as np
 import pytest
 
 from repro.graph import HeteroGraph, random_hetero_graph
-from repro.graph.adjacency import (
-    AdjacencyAccessor,
-    COOAdjacency,
-    build_csr_by_dst,
-    build_segment_pointers,
-)
+from repro.graph.adjacency import AdjacencyAccessor, COOAdjacency, build_segment_pointers
 from repro.graph.generators import random_features, random_labels
 
 

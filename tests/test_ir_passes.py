@@ -1,6 +1,5 @@
 """Tests of the inter-op passes: reordering, compact materialization, DCE."""
 
-import pytest
 
 from repro.frontend.config import CompilerOptions
 from repro.ir.inter_op import OpKind, Space

@@ -12,7 +12,7 @@ from repro.ir.inter_op import (
     ValueInfo,
 )
 from repro.ir.inter_op.program import IRValidationError
-from repro.ir.inter_op.space import NodeBinding, TypeSelector
+from repro.ir.inter_op.space import TypeSelector
 from repro.models import build_program
 
 

@@ -1,0 +1,172 @@
+"""Tests of the buffer-lifetime memory planner and the runtime arena."""
+
+import numpy as np
+
+from repro.evaluation.workload import WorkloadSpec
+from repro.frontend import CompilerOptions, compile_program
+from repro.models import build_program
+from repro.runtime import CompiledRGNNModule, MemoryPlanner
+
+
+def _inference_plan(model="hgt", dim=16):
+    options = CompilerOptions(emit_backward=False, enable_compilation_cache=False)
+    return compile_program(build_program(model, in_dim=dim, out_dim=dim), options)
+
+
+def _training_plan(model="hgt", dim=16):
+    options = CompilerOptions(enable_compilation_cache=False)
+    return compile_program(build_program(model, in_dim=dim, out_dim=dim), options)
+
+
+def _workload(dim=16):
+    return WorkloadSpec(
+        name="unit", num_nodes=50, num_edges=200, num_node_types=3,
+        num_edge_types=6, num_unique_pairs=120, in_dim=dim, out_dim=dim,
+    )
+
+
+class TestLifetimes:
+    def test_lifetimes_cover_only_intermediates(self):
+        result = _inference_plan()
+        planner = MemoryPlanner(result.plan)
+        intervals = planner.lifetimes()
+        names = {interval.name for interval in intervals}
+        owned = set(result.plan.input_names) | set(result.plan.parameter_names) | set(result.plan.output_names)
+        assert names, "expected at least one intermediate buffer"
+        assert not names & owned
+
+    def test_lifetimes_well_formed_and_ordered(self):
+        planner = MemoryPlanner(_inference_plan().plan)
+        intervals = planner.lifetimes()
+        assert all(interval.start <= interval.end for interval in intervals)
+        starts = [interval.start for interval in intervals]
+        assert starts == sorted(starts)
+
+    def test_training_pins_intermediates_through_backward(self):
+        plan = _training_plan().plan
+        planner = MemoryPlanner(plan)
+        horizon = len(plan.forward_kernels) + len(plan.backward_kernels) - 1
+        assert all(interval.end == horizon for interval in planner.lifetimes())
+
+    def test_overlap_predicate(self):
+        from repro.runtime import BufferLifetime
+        a = BufferLifetime("a", 0, 3)
+        b = BufferLifetime("b", 3, 5)
+        c = BufferLifetime("c", 4, 6)
+        assert a.overlaps(b) and not a.overlaps(c) and b.overlaps(c)
+
+
+class TestSlotPacking:
+    def test_shared_slots_never_overlap_in_time(self):
+        planner = MemoryPlanner(_inference_plan().plan)
+        memory_plan = planner.plan_memory(_workload())
+        by_name = {interval.name: interval for interval in memory_plan.lifetimes}
+        for name_a, slot_a in memory_plan.slot_of.items():
+            for name_b, slot_b in memory_plan.slot_of.items():
+                if name_a < name_b and slot_a == slot_b:
+                    assert not by_name[name_a].overlaps(by_name[name_b]), (
+                        f"{name_a} and {name_b} share slot {slot_a} but their lifetimes overlap"
+                    )
+
+    def test_inference_plan_shares_slots(self):
+        memory_plan = MemoryPlanner(_inference_plan().plan).plan_memory(_workload())
+        assert memory_plan.num_slots < memory_plan.num_buffers
+        assert memory_plan.sharing_fraction() < 1.0
+
+    def test_training_plan_has_no_sharing(self):
+        memory_plan = MemoryPlanner(_training_plan().plan).plan_memory(_workload())
+        assert memory_plan.num_slots == memory_plan.num_buffers
+        assert memory_plan.arena_elements() == memory_plan.naive_elements()
+
+    def test_slot_capacity_covers_every_occupant(self):
+        memory_plan = MemoryPlanner(_inference_plan().plan).plan_memory(_workload())
+        for name, slot in memory_plan.slot_of.items():
+            assert memory_plan.slot_elements[slot] >= memory_plan.element_counts[name]
+
+    def test_naive_peak_between_zero_and_whole_pass(self):
+        result = _inference_plan()
+        planner = MemoryPlanner(result.plan)
+        workload = _workload()
+        peak = planner.naive_peak_bytes(workload, training=False)
+        # Freeing after last read can only shrink the whole-pass footprint.
+        assert 0 < peak <= result.plan.memory_bytes(workload, training=False)
+        # Under training nothing can be freed early: the peak equals holding
+        # every materialised intermediate simultaneously.
+        training_plan = _training_plan().plan
+        training_planner = MemoryPlanner(training_plan)
+        held = sum(training_plan.buffers[i.name].num_bytes(workload)
+                   for i in training_planner.lifetimes(training=True))
+        persistent = training_planner.naive_peak_bytes(workload, training=True) - held
+        assert persistent >= 0
+
+    def test_runtime_arena_covers_only_inplace_buffers(self, small_graph):
+        from repro.runtime import CompiledRGNNModule
+        result = _inference_plan("hgt", dim=8)
+        module = CompiledRGNNModule(result.plan, result.generated, small_graph)
+        planner = MemoryPlanner(result.plan)
+        assert set(module.arena.managed_names) == planner.inplace_written_names()
+        assert planner.inplace_written_names() <= set(planner.intermediate_names())
+
+    def test_planned_footprint_no_worse_than_naive(self):
+        result = _inference_plan()
+        planner = MemoryPlanner(result.plan)
+        workload = _workload()
+        planned = planner.planned_footprint_bytes(workload, training=False)
+        naive = result.plan.memory_bytes(workload, training=False)
+        assert planned <= naive
+        assert planned > 0
+
+
+class TestBufferArena:
+    def test_arena_reuse_matches_fresh_allocation_reference(self, small_graph):
+        """Outputs under arena reuse are bit-identical to fresh allocation."""
+        features = np.random.default_rng(5).standard_normal((small_graph.num_nodes, 8))
+        fresh_opts = CompilerOptions(enable_memory_planning=False, enable_compilation_cache=False)
+        arena_opts = CompilerOptions(enable_memory_planning=True, enable_compilation_cache=False)
+        for model in ("rgcn", "rgat", "hgt"):
+            program = build_program(model, in_dim=8, out_dim=8)
+            fresh = compile_program(program, fresh_opts)
+            planned = compile_program(program, arena_opts)
+            reference = CompiledRGNNModule(fresh.plan, fresh.generated, small_graph, seed=2)
+            module = CompiledRGNNModule(planned.plan, planned.generated, small_graph, seed=2)
+            assert module.arena is not None and reference.arena is None
+            expected = reference.forward(features)
+            # Run several times: reuse must not leak state between invocations.
+            for _ in range(3):
+                outputs = module.forward(features)
+                for name in expected:
+                    np.testing.assert_allclose(outputs[name], expected[name], atol=1e-12)
+            ref_grads = reference.backward({k: np.ones_like(v) for k, v in expected.items()})
+            grads = module.backward({k: np.ones_like(v) for k, v in outputs.items()})
+            for name in ref_grads:
+                np.testing.assert_allclose(grads[name], ref_grads[name], atol=1e-12)
+
+    def test_bind_does_not_overwrite_caller_entries(self, small_graph):
+        result = _inference_plan("rgcn", dim=8)
+        module = CompiledRGNNModule(result.plan, result.generated, small_graph)
+        arena = module.arena
+        assert arena is not None
+        name = arena.managed_names[0]
+        sentinel = np.full(3, 7.0)
+        env = {name: sentinel}
+        arena.bind(env)
+        assert env[name] is sentinel
+
+    def test_arena_accounting(self, small_graph):
+        result = _inference_plan("hgt", dim=8)
+        module = CompiledRGNNModule(result.plan, result.generated, small_graph)
+        arena = module.arena
+        assert arena.arena_bytes() > 0
+        assert arena.arena_bytes() <= arena.naive_bytes_per_invocation() or not arena.memory_plan.slot_of
+        assert arena.bytes_saved() == 0  # nothing bound yet
+        features = np.random.default_rng(0).standard_normal((small_graph.num_nodes, 8))
+        module.forward(features)
+        module.forward(features)
+        assert arena.bytes_saved() > 0
+
+    def test_memory_study_reports_planner_columns(self):
+        from repro.evaluation.memory_study import memory_footprint_study
+        rows = memory_footprint_study(datasets=["aifb"])
+        row = rows[0]
+        assert 0.0 < row["inference_planned_fraction"] <= 1.0
+        assert 0.0 < row["arena_sharing_fraction"] <= 1.0

@@ -1,7 +1,6 @@
 """Property-based tests: generated kernels agree with the reference on random graphs."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.tensor import Tensor, init, nn, optim, ops
+from repro.tensor import Tensor, init, nn, optim
 
 
 class TestModules:
