@@ -1,0 +1,62 @@
+"""Autotuned vs. fixed-configuration ablation across the Figure 8 suite.
+
+The acceptance bar for the tuner: on every model × dataset cell the
+autotuned configuration is never slower (cost-model time) than the default
+``CompilerOptions()``, never slower than the best fixed configuration, and
+strictly beats the best fixed configuration somewhere — i.e. the extra
+design-space axes (fusion, schedules) buy real headroom beyond U/C/R/C+R.
+"""
+
+import pytest
+
+from repro.evaluation import autotune_rows, autotune_study
+from repro.evaluation.reporting import format_table
+
+#: Fractional tolerance for "never slower" (float noise only).
+EPS = 1e-9
+
+
+def _assert_auto_dominates(cells):
+    for cell in cells:
+        if cell.default_ms is not None:
+            assert cell.auto_ms <= cell.default_ms * (1 + EPS), (
+                cell.model, cell.dataset, cell.mode, "slower than default")
+        if cell.best_fixed_ms is not None:
+            assert cell.auto_ms <= cell.best_fixed_ms * (1 + EPS), (
+                cell.model, cell.dataset, cell.mode, "slower than best fixed")
+    assert any(
+        cell.best_fixed_ms is not None and cell.auto_ms < cell.best_fixed_ms * (1 - 1e-6)
+        for cell in cells
+    ), "autotuning never beat the best fixed configuration anywhere"
+
+
+@pytest.mark.smoke
+def test_autotuned_vs_fixed_inference(benchmark):
+    cells = benchmark(autotune_study, mode="inference")
+    print()
+    print(format_table(
+        autotune_rows(cells),
+        title="Autotuned vs fixed configurations — inference (cost-model ms)",
+    ))
+    _assert_auto_dominates(cells)
+
+
+def test_autotuned_vs_fixed_training(benchmark):
+    cells = benchmark(autotune_study, mode="training")
+    print()
+    print(format_table(
+        autotune_rows(cells),
+        title="Autotuned vs fixed configurations — training (cost-model ms)",
+    ))
+    _assert_auto_dominates(cells)
+    # The unoptimised configuration OOMs somewhere in training (Section 4.2);
+    # the tuner routes around it with compact materialization.
+    assert any(cell.default_ms is None for cell in cells)
+
+
+def test_exhaustive_search_never_loses_to_staged():
+    staged = autotune_study(models=["rgat"], datasets=["bgs", "mag"], search="staged")
+    exhaustive = autotune_study(models=["rgat"], datasets=["bgs", "mag"], search="exhaustive")
+    for quick, full in zip(staged, exhaustive):
+        assert full.auto_ms <= quick.auto_ms * (1 + EPS)
+        assert full.candidates_evaluated >= quick.candidates_evaluated

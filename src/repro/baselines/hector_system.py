@@ -50,11 +50,14 @@ class HectorSystem:
         return model in ("rgcn", "rgat", "hgt")
 
     # ------------------------------------------------------------------
-    def works(self, model: str, workload: WorkloadSpec, training: bool) -> List[KernelWork]:
+    def works(
+        self, model: str, workload: WorkloadSpec, training: bool,
+        device: DeviceSpec = RTX_3090,
+    ) -> List[KernelWork]:
         """Kernel work derived from the compiled plan under a workload."""
         plan = self.compiled(model, workload.in_dim, workload.out_dim).plan
         kernels = plan.kernels("all" if training else "forward")
-        return [kernel_work_from_instance(kernel, workload) for kernel in kernels]
+        return [kernel_work_from_instance(kernel, workload, device) for kernel in kernels]
 
     def memory_bytes(self, model: str, workload: WorkloadSpec, training: bool) -> float:
         plan = self.compiled(model, workload.in_dim, workload.out_dim).plan
@@ -69,6 +72,6 @@ class HectorSystem:
             check_footprint(memory, device.memory_bytes, label=f"{self.name}/{model}/{workload.name}")
         except OutOfMemoryError:
             return SystemEstimate(self.name, model, workload.name, mode, None, memory, oom=True)
-        works = self.works(model, workload, training)
+        works = self.works(model, workload, training, device)
         estimate = estimate_execution(works, device, HECTOR_HOST_OVERHEAD_US)
         return SystemEstimate(self.name, model, workload.name, mode, estimate, memory)

@@ -9,6 +9,7 @@ from repro.evaluation.memory_study import memory_footprint_study
 from repro.evaluation.sweep import dimension_sweep
 from repro.evaluation.arch_metrics import architectural_metrics
 from repro.evaluation.loc_metric import programming_effort_metric
+from repro.evaluation.autotune_study import AutotuneCell, autotune_rows, autotune_study
 from repro.evaluation import reporting
 
 __all__ = [
@@ -24,5 +25,8 @@ __all__ = [
     "dimension_sweep",
     "architectural_metrics",
     "programming_effort_metric",
+    "AutotuneCell",
+    "autotune_rows",
+    "autotune_study",
     "reporting",
 ]

@@ -1,0 +1,149 @@
+"""Autotuned vs. fixed-configuration ablation across models × datasets.
+
+For every (model, dataset) cell of the Figure 8 suite the study prices each
+fixed optimization configuration (U, C, R, C+R — Table 5) with the shared
+roofline cost model, then lets the :mod:`repro.tuner` autotuner search the
+full design space (the same pass switches plus elementwise fusion and the
+per-template schedules) for that workload.  The resulting rows show where
+tuning merely recovers the best fixed configuration and where the extra axes
+— fusion, tile sizes, work assignment — beat every hand-picked point.
+
+By default the study uses an ephemeral in-memory tuning database so repeated
+studies (and benchmark runs) never touch the user's on-disk database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.evaluation.workload import WorkloadSpec
+from repro.frontend.cache import CompilationCache
+from repro.frontend.config import CONFIGURATIONS
+from repro.gpu.device import DeviceSpec, RTX_3090
+from repro.graph.datasets import dataset_names
+from repro.models import MODEL_NAMES, build_program
+from repro.tuner import TuningDatabase, TuningSpace, evaluate_candidate, tune_program
+
+
+@dataclass
+class AutotuneCell:
+    """One (model, dataset, mode) cell of the ablation."""
+
+    model: str
+    dataset: str
+    mode: str
+    fixed_ms: Dict[str, Optional[float]] = field(default_factory=dict)
+    auto_ms: float = 0.0
+    auto_label: str = ""
+    candidates_evaluated: int = 0
+    db_hit: bool = False
+
+    # ------------------------------------------------------------------
+    @property
+    def default_ms(self) -> Optional[float]:
+        """Cost-model time of the default (unoptimised) configuration."""
+        return self.fixed_ms.get("U")
+
+    @property
+    def best_fixed_label(self) -> Optional[str]:
+        viable = {label: ms for label, ms in self.fixed_ms.items() if ms is not None}
+        if not viable:
+            return None
+        return min(viable, key=viable.get)
+
+    @property
+    def best_fixed_ms(self) -> Optional[float]:
+        label = self.best_fixed_label
+        return None if label is None else self.fixed_ms[label]
+
+    def speedup_vs_default(self) -> Optional[float]:
+        if self.default_ms is None or self.auto_ms <= 0:
+            return None
+        return self.default_ms / self.auto_ms
+
+    def speedup_vs_best_fixed(self) -> Optional[float]:
+        best = self.best_fixed_ms
+        if best is None or self.auto_ms <= 0:
+            return None
+        return best / self.auto_ms
+
+    def as_row(self) -> Dict[str, object]:
+        row: Dict[str, object] = {
+            "model": self.model,
+            "dataset": self.dataset,
+            "mode": self.mode,
+        }
+        for label in CONFIGURATIONS:
+            ms = self.fixed_ms.get(label)
+            row[f"{label}_ms"] = None if ms is None else round(ms, 4)
+        row["auto_ms"] = round(self.auto_ms, 4)
+        row["auto_config"] = self.auto_label
+        speedup = self.speedup_vs_best_fixed()
+        row["auto_vs_best_fixed"] = None if speedup is None else round(speedup, 3)
+        return row
+
+
+def autotune_study(
+    models: Sequence[str] = tuple(MODEL_NAMES),
+    datasets: Optional[Sequence[str]] = None,
+    mode: str = "inference",
+    in_dim: int = 64,
+    out_dim: int = 64,
+    device: DeviceSpec = RTX_3090,
+    space: Optional[TuningSpace] = None,
+    search: str = "staged",
+    db: Optional[TuningDatabase] = None,
+) -> List[AutotuneCell]:
+    """Run the autotuned-vs-fixed ablation over models × datasets.
+
+    Args:
+        models / datasets: the sweep; defaults to the paper's full suite.
+        mode: ``"inference"`` or ``"training"`` (the tuning objective).
+        in_dim / out_dim: feature dimensions (the paper uses 64/64).
+        device: cost-model device.
+        space / search: design space and strategy forwarded to the tuner.
+        db: tuning database; defaults to a fresh in-memory one, so studies
+            are self-contained and never write to disk.
+    """
+    datasets = list(datasets) if datasets is not None else dataset_names()
+    db = db if db is not None else TuningDatabase(path=None)
+    # Scoring compilations stay out of the process-global serving cache,
+    # mirroring how the search itself uses a dedicated cache.
+    scoring_cache = CompilationCache()
+    cells: List[AutotuneCell] = []
+    for model in models:
+        program = build_program(model, in_dim=in_dim, out_dim=out_dim)
+        for dataset in datasets:
+            workload = WorkloadSpec.from_dataset(dataset, in_dim=in_dim, out_dim=out_dim)
+            fixed: Dict[str, Optional[float]] = {}
+            for label, options in CONFIGURATIONS.items():
+                evaluation = evaluate_candidate(program, options, workload, device, mode, scoring_cache)
+                fixed[label] = None if evaluation.oom else evaluation.estimated_ms
+            result = tune_program(
+                program,
+                workload=workload,
+                space=space,
+                device=device,
+                mode=mode,
+                search=search,
+                db=db,
+            )
+            cells.append(
+                AutotuneCell(
+                    model=model,
+                    dataset=dataset,
+                    mode=mode,
+                    fixed_ms=fixed,
+                    auto_ms=result.best.estimated_ms,
+                    auto_label=result.best.label,
+                    candidates_evaluated=len(result.candidates),
+                    db_hit=result.db_hit,
+                )
+            )
+    return cells
+
+
+def autotune_rows(cells: Sequence[AutotuneCell]) -> List[Dict[str, object]]:
+    """Flatten study cells into report rows (for ``reporting.format_table``)."""
+    return [cell.as_row() for cell in cells]

@@ -104,6 +104,63 @@ def make_cache_key(
     return (fingerprint_program(program), options.cache_key(), schema)
 
 
+def fingerprint_workload(workload) -> str:
+    """Fingerprint of a workload's sizes (tuning without a concrete graph).
+
+    Covers everything the cost model prices candidates against: node/edge
+    counts, type vocabulary sizes, compaction opportunity, and the
+    per-relation / per-node-type distributions.
+    """
+    digest = hashlib.sha256()
+    digest.update(
+        repr(
+            (
+                workload.num_nodes,
+                workload.num_edges,
+                workload.num_node_types,
+                workload.num_edge_types,
+                workload.num_unique_pairs,
+            )
+        ).encode()
+    )
+    digest.update(workload.relation_edge_counts.tobytes())
+    digest.update(workload.node_type_counts.tobytes())
+    return digest.hexdigest()
+
+
+def make_tuning_key(
+    program: InterOpProgram,
+    graph: Optional["HeteroGraph"],
+    in_dim: int,
+    out_dim: int,
+    device_name: str,
+    mode: str,
+    workload=None,
+) -> str:
+    """Key of one autotuning entry: program × schema × dims × device × mode.
+
+    The tuning database is keyed the same way as the compilation cache —
+    structural program fingerprint plus graph-*schema* fingerprint — so every
+    graph sharing a schema reuses one tuned configuration, with the device
+    and the tuning objective (``"inference"`` / ``"training"``) qualifying the
+    entry.  A ``workload`` additionally scopes the entry by its size
+    fingerprint: callers pass it when tuning against published dataset
+    statistics, or when pricing a schema against an explicit workload (so
+    different pricing workloads for one schema never collide on one record).
+    Returned as a flat string so it can serve as a JSON object key in the
+    on-disk database.
+    """
+    parts = []
+    if graph is not None:
+        parts.append(fingerprint_graph_schema(graph))
+    if workload is not None:
+        parts.append(fingerprint_workload(workload))
+    scope = "+".join(parts) if parts else "any"
+    return "|".join(
+        [fingerprint_program(program), scope, f"{in_dim}x{out_dim}", device_name, mode]
+    )
+
+
 @dataclass
 class CacheStats:
     """Hit/miss counters of one :class:`CompilationCache`."""

@@ -21,7 +21,7 @@ from repro.ir.codegen.cuda_backend import generate_cuda_source
 from repro.ir.codegen.host import generate_host_source
 from repro.ir.codegen.python_backend import GeneratedModule, generate_python_module
 from repro.ir.inter_op.lowering import LoweringOptions, lower_program
-from repro.ir.inter_op.passes import default_pipeline
+from repro.ir.inter_op.passes import pipeline_for_options
 from repro.ir.inter_op.program import InterOpProgram
 from repro.ir.intra_op.plan import KernelPlan
 from repro.runtime.module import CompiledRGNNModule
@@ -73,6 +73,11 @@ def compile_program(
     specialised for.
     """
     options = options or CompilerOptions()
+    if options.is_auto:
+        raise ValueError(
+            "optimization_level='auto' must be resolved before compilation: use "
+            "compile_model(..., tune=True) or repro.tuner.resolve_tuned_options"
+        )
     if cache is None and options.enable_compilation_cache:
         cache = global_compilation_cache()
     key = make_cache_key(program, options, graph) if cache is not None else None
@@ -80,12 +85,7 @@ def compile_program(
         cached = cache.lookup(key)
         if cached is not None:
             return cached
-    pipeline = default_pipeline(
-        enable_compaction=options.compact_materialization,
-        enable_reordering=options.linear_operator_reordering,
-        enable_elementwise_fusion=options.fuse_elementwise,
-    )
-    optimized = pipeline.run(program)
+    optimized = pipeline_for_options(options).run(program)
     plan = lower_program(
         optimized,
         LoweringOptions(
@@ -123,6 +123,10 @@ def compile_model(
     out_dim: int = 64,
     options: Optional[CompilerOptions] = None,
     seed: int = 0,
+    tune: bool = False,
+    tuning_db=None,
+    tuning_space=None,
+    measure_top_k: int = 0,
 ) -> CompiledRGNNModule:
     """Compile a named model (``"rgcn"``, ``"rgat"``, ``"hgt"``) for a graph.
 
@@ -136,11 +140,30 @@ def compile_model(
         graph: the heterogeneous graph the module is specialised for.
         in_dim / out_dim: feature dimensions (the paper uses 64/64).
         options: compiler options; defaults to the unoptimised configuration.
+            ``CompilerOptions(optimization_level="auto")`` implies ``tune=True``.
         seed: parameter-initialisation seed.
+        tune: ask the :mod:`repro.tuner` autotuner to pick the configuration.
+            The first call for a (program, schema, dims, device, mode) key
+            searches the design space and persists the winner in the tuning
+            database; subsequent calls replay the stored winner without
+            re-searching.  Tuned plans flow through the compilation cache,
+            memory planner, and executor exactly like hand-picked options.
+        tuning_db: explicit :class:`repro.tuner.TuningDatabase` (defaults to
+            the process-wide, disk-backed database).
+        tuning_space: explicit :class:`repro.tuner.TuningSpace` to search.
+        measure_top_k: when > 0, the search validates this many top-ranked
+            candidates by measured wall-clock of the python backend on
+            ``graph`` before declaring the winner.
     """
     from repro.models import build_program  # local import to avoid a cycle
 
     options = options or CompilerOptions()
+    tuning = tune or options.is_auto
+    if not tuning and (tuning_db is not None or tuning_space is not None or measure_top_k):
+        raise ValueError(
+            "tuning_db / tuning_space / measure_top_k only take effect with tune=True "
+            "or CompilerOptions(optimization_level='auto')"
+        )
     if options.enable_compilation_cache:
         memo_key = (model, in_dim, out_dim)
         program = _PROGRAM_MEMO.get(memo_key)
@@ -148,6 +171,18 @@ def compile_model(
             program = _PROGRAM_MEMO.setdefault(memo_key, build_program(model, in_dim=in_dim, out_dim=out_dim))
     else:
         program = build_program(model, in_dim=in_dim, out_dim=out_dim)
+    if tuning:
+        from repro.tuner import resolve_tuned_options  # local import to avoid a cycle
+
+        options = resolve_tuned_options(
+            program,
+            graph=graph,
+            base_options=options,
+            mode="training" if options.emit_backward else "inference",
+            db=tuning_db,
+            space=tuning_space,
+            measure_top_k=measure_top_k,
+        )
     result = compile_program(program, options, graph=graph)
     return CompiledRGNNModule(result.plan, result.generated, graph, seed=seed)
 

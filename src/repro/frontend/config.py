@@ -7,7 +7,7 @@ reordering (``R``), and both (``C+R``) — Table 5 and Figure 9.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 from typing import Optional
 
 from repro.ir.intra_op.schedule import GemmSchedule, TraversalSchedule
@@ -48,6 +48,13 @@ class CompilerOptions:
             compatible traversal kernels after lowering.  Disabled by default
             because it changes kernel counts relative to the paper's figures;
             the hot-path runtime configurations enable it.
+        optimization_level: ``None`` (use the switches as given) or ``"auto"``
+            — ask the :mod:`repro.tuner` autotuner to pick the best point of
+            the compilation design space for the (program, graph schema,
+            dimensions) at hand.  ``"auto"`` is resolved by ``compile_model``
+            (or :func:`repro.tuner.resolve_tuned_options`) *before*
+            compilation; ``compile_program`` rejects unresolved ``"auto"``
+            options.
     """
 
     compact_materialization: bool = False
@@ -62,6 +69,18 @@ class CompilerOptions:
     enable_compilation_cache: bool = True
     enable_memory_planning: bool = True
     fuse_elementwise: bool = False
+    optimization_level: Optional[str] = None
+
+    def __post_init__(self):
+        if self.optimization_level not in (None, "auto"):
+            raise ValueError(
+                f"unknown optimization_level {self.optimization_level!r}; expected None or 'auto'"
+            )
+
+    @property
+    def is_auto(self) -> bool:
+        """Whether these options request autotuning instead of fixed switches."""
+        return self.optimization_level == "auto"
 
     def gemm_schedule(self) -> GemmSchedule:
         """Schedule applied to every GEMM-template instance."""
@@ -92,11 +111,45 @@ class CompilerOptions:
         """Return a copy with selected fields replaced."""
         return replace(self, **overrides)
 
+    def schedule_label(self) -> str:
+        """Compact description of the non-default schedule/fusion choices."""
+        default_gemm, default_traversal = GemmSchedule(), TraversalSchedule()
+        parts = [self.label()]
+        if self.fuse_elementwise:
+            parts.append("fuse")
+        if (self.gemm_tile_size, self.gemm_coarsening) != (
+            default_gemm.tile_size,
+            default_gemm.coarsening,
+        ):
+            parts.append(f"gemm{self.gemm_tile_size}x{self.gemm_coarsening}")
+        if (self.traversal_rows_per_block, self.traversal_partial_aggregation) != (
+            default_traversal.rows_per_block,
+            default_traversal.partial_aggregation,
+        ):
+            suffix = "" if self.traversal_partial_aggregation else "-nopartial"
+            parts.append(f"trav{self.traversal_rows_per_block}{suffix}")
+        return "+".join(parts)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable mapping of every option field (tuning database)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CompilerOptions":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown CompilerOptions fields: {sorted(unknown)}")
+        return cls(**data)
+
     def cache_key(self) -> tuple:
         """Hashable key of every option that changes the compiled artefact.
 
         ``enable_compilation_cache`` is deliberately excluded: it controls
         whether the cache is consulted, not what is produced.
+        ``optimization_level`` is likewise excluded: ``"auto"`` is resolved to
+        concrete switches before any compilation happens.
         """
         return (
             self.compact_materialization,

@@ -17,6 +17,14 @@ from typing import List, Optional, Sequence
 
 from repro.gpu.device import DeviceSpec, RTX_3090
 from repro.ir.intra_op.kernels import GemmKernel, KernelInstance, TraversalKernel
+from repro.ir.intra_op.schedule import GemmSchedule, TraversalSchedule
+
+#: The schedule points every efficiency factor is normalised against — by
+#: construction the default schedules always map to a factor of exactly 1.0,
+#: keeping untuned plans and baseline estimates bit-identical to the paper
+#: figures even if the dataclass defaults ever move.
+_DEFAULT_GEMM_SCHEDULE = GemmSchedule()
+_DEFAULT_TRAVERSAL_SCHEDULE = TraversalSchedule()
 
 
 @dataclass
@@ -32,9 +40,21 @@ class KernelWork:
         launches: number of device kernel launches issued.
         host_ops: number of framework-level operator calls on the host.
         rows / cols: output tile extents used for the occupancy estimate.
-        uses_atomics: dominated by atomic updates.
+        uses_atomics: issues atomic updates.
+        atomic_fraction: fraction of the kernel's work subject to the atomic
+            penalty.  ``1.0`` (the default, and the behaviour for every
+            hand-described baseline kernel) penalises the whole body; fused
+            traversal kernels that mix atomic and non-atomic micro-ops carry
+            the atomic share of their statements, so fusing a non-atomic
+            kernel into an atomic one is never modeled as making the
+            non-atomic work slower.
         has_outer_product: per-type outer-product accumulation (weight grads).
         direction: ``"forward"`` or ``"backward"``.
+        schedule_efficiency: multiplicative throughput factor of the kernel's
+            intra-op schedule *relative to the default schedule* (see
+            :func:`schedule_efficiency_factor`).  Exactly ``1.0`` for the
+            default schedules, so estimates of untuned plans and baseline
+            simulators are unchanged; the autotuner explores the factor.
     """
 
     name: str
@@ -47,8 +67,10 @@ class KernelWork:
     rows: int = 1
     cols: int = 64
     uses_atomics: bool = False
+    atomic_fraction: float = 1.0
     has_outer_product: bool = False
     direction: str = "forward"
+    schedule_efficiency: float = 1.0
 
     @property
     def bytes_total(self) -> float:
@@ -139,6 +161,86 @@ def _base_efficiency(work: KernelWork) -> float:
     return 0.18  # traversal / sparse / elementwise kernels
 
 
+def _needed_blocks(device: DeviceSpec) -> float:
+    """Thread blocks needed to keep every SM busy (≈3 resident blocks per SM)."""
+    return device.sm_count * 3.0
+
+
+#: Shared-memory reuse factor of the GEMM template per tile width, relative to
+#: the default 16×16 tile: smaller tiles re-read operands more often, larger
+#: tiles amortise better (until occupancy pushes back, handled separately).
+_GEMM_TILE_REUSE = {8: 0.90, 16: 1.0, 32: 1.06}
+
+#: ILP gain of thread coarsening on large grids / parallelism loss on small ones.
+_COARSEN_GAIN = {1: 1.0, 2: 1.04, 4: 1.06}
+_COARSEN_LOSS = {1: 1.0, 2: 0.96, 4: 0.90}
+
+
+def gemm_schedule_efficiency(
+    schedule, rows: int, cols: int, device: DeviceSpec = RTX_3090
+) -> float:
+    """Throughput factor of a GEMM schedule relative to the default schedule.
+
+    Larger tiles improve shared-memory reuse but launch fewer, fatter blocks
+    (hurting occupancy on small grids); coarsening adds per-thread ILP on
+    large grids and starves parallelism on small ones.  Normalised so the
+    default ``GemmSchedule()`` maps to exactly 1.0 on every grid and device.
+    """
+    def blocks(tile: int) -> float:
+        return max(1.0, rows / tile) * max(1.0, cols / tile)
+
+    def occupancy(tile: int) -> float:
+        return min(1.0, blocks(tile) / _needed_blocks(device))
+
+    default_tile = _DEFAULT_GEMM_SCHEDULE.tile_size
+    reuse = _GEMM_TILE_REUSE.get(schedule.tile_size, 1.0) / _GEMM_TILE_REUSE.get(default_tile, 1.0)
+    fill = min(1.0, rows / schedule.tile_size) * min(1.0, cols / schedule.tile_size)
+    default_fill = min(1.0, rows / default_tile) * min(1.0, cols / default_tile)
+    factor = reuse * (occupancy(schedule.tile_size) / occupancy(default_tile)) * (fill / default_fill)
+    large_grid = rows * cols >= 1 << 18
+    coarsen = _COARSEN_GAIN if large_grid else _COARSEN_LOSS
+    factor *= coarsen.get(schedule.coarsening, 1.0) / coarsen.get(_DEFAULT_GEMM_SCHEDULE.coarsening, 1.0)
+    return max(factor, 0.05)
+
+
+def traversal_schedule_efficiency(
+    schedule, rows: int, uses_atomics: bool, device: DeviceSpec = RTX_3090
+) -> float:
+    """Throughput factor of a traversal schedule relative to the default.
+
+    Fewer rows per block means more blocks (better occupancy on small
+    domains) but more per-block setup; skipping partial-result aggregation
+    makes atomic kernels issue one atomic per element.  Normalised so the
+    default ``TraversalSchedule()`` maps to exactly 1.0 on every domain and
+    device.
+    """
+    def raw(rows_per_block: int) -> float:
+        utilization = min(1.0, max(1.0, rows / rows_per_block) / _needed_blocks(device))
+        amortization = rows_per_block / (rows_per_block + 4.0)
+        return utilization * amortization
+
+    def aggregation_penalty(partial_aggregation: bool) -> float:
+        return 1.0 if partial_aggregation or not uses_atomics else 0.75
+
+    factor = raw(schedule.rows_per_block) / raw(_DEFAULT_TRAVERSAL_SCHEDULE.rows_per_block)
+    factor *= aggregation_penalty(schedule.partial_aggregation) / aggregation_penalty(
+        _DEFAULT_TRAVERSAL_SCHEDULE.partial_aggregation
+    )
+    return max(factor, 0.05)
+
+
+def schedule_efficiency_factor(
+    kernel: KernelInstance, workload, device: DeviceSpec = RTX_3090
+) -> float:
+    """Schedule-relative throughput factor of a generated kernel instance."""
+    rows = kernel.rows(workload)
+    if isinstance(kernel, GemmKernel):
+        return gemm_schedule_efficiency(kernel.schedule, rows, kernel.n_dim, device)
+    if isinstance(kernel, TraversalKernel):
+        return traversal_schedule_efficiency(kernel.schedule, rows, kernel.uses_atomics, device)
+    return 1.0
+
+
 def estimate_kernel_time(work: KernelWork, device: DeviceSpec = RTX_3090) -> KernelTime:
     """Estimate the execution time of one kernel-work record."""
     efficiency = _base_efficiency(work) * _occupancy(work, device)
@@ -148,9 +250,11 @@ def estimate_kernel_time(work: KernelWork, device: DeviceSpec = RTX_3090) -> Ker
     memory_time = work.bytes_total / (device.dram_bandwidth * memory_efficiency)
     body = max(compute_time, memory_time)
     if work.uses_atomics:
-        body *= device.atomic_penalty
+        fraction = min(max(work.atomic_fraction, 0.0), 1.0)
+        body *= (1.0 - fraction) + fraction * device.atomic_penalty
     if work.has_outer_product:
         body *= device.outer_product_penalty
+    body /= max(work.schedule_efficiency, 0.05)
     launch_time = work.launches * device.kernel_launch_overhead_us * 1e-6
     return KernelTime(
         work=work,
@@ -188,8 +292,15 @@ def estimate_execution(
 # ----------------------------------------------------------------------
 # bridging Hector kernel instances to work records
 # ----------------------------------------------------------------------
-def kernel_work_from_instance(kernel: KernelInstance, workload) -> KernelWork:
-    """Convert a generated kernel instance into a cost-model work record."""
+def kernel_work_from_instance(
+    kernel: KernelInstance, workload, device: DeviceSpec = RTX_3090
+) -> KernelWork:
+    """Convert a generated kernel instance into a cost-model work record.
+
+    ``device`` scopes the schedule-efficiency estimate (block counts needed
+    for full occupancy differ per SM count); every other term is sized at
+    :func:`estimate_kernel_time` time.
+    """
     rows = kernel.rows(workload)
     if isinstance(kernel, GemmKernel):
         cols = kernel.n_dim
@@ -208,8 +319,12 @@ def kernel_work_from_instance(kernel: KernelInstance, workload) -> KernelWork:
         rows=rows,
         cols=cols,
         uses_atomics=kernel.uses_atomics,
+        atomic_fraction=(
+            kernel.atomic_work_fraction() if isinstance(kernel, TraversalKernel) else 1.0
+        ),
         has_outer_product=kernel.has_outer_product,
         direction=kernel.direction,
+        schedule_efficiency=schedule_efficiency_factor(kernel, workload, device),
     )
 
 
@@ -227,5 +342,5 @@ def plan_execution_estimate(
     default of a few microseconds reflects that.
     """
     kernels = plan.kernels("all" if training else "forward")
-    works = [kernel_work_from_instance(kernel, workload) for kernel in kernels]
+    works = [kernel_work_from_instance(kernel, workload, device) for kernel in kernels]
     return estimate_execution(works, device, framework_overhead_per_op_us)

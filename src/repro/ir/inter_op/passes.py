@@ -385,3 +385,20 @@ def default_pipeline(
     if enable_elementwise_fusion:
         manager.add(ElementwiseFusionPass())
     return manager
+
+
+def pipeline_for_options(options) -> PassManager:
+    """The pass pipeline selected by a frontend ``CompilerOptions`` instance.
+
+    Accepts anything exposing ``compact_materialization``,
+    ``linear_operator_reordering``, and ``fuse_elementwise`` attributes (kept
+    duck-typed to avoid an ir → frontend import cycle).  This is the single
+    place the compiler and the autotuner translate option switches into a
+    pass list, so every tuner candidate goes through exactly the pipeline a
+    direct compilation with those switches would.
+    """
+    return default_pipeline(
+        enable_compaction=options.compact_materialization,
+        enable_reordering=options.linear_operator_reordering,
+        enable_elementwise_fusion=options.fuse_elementwise,
+    )

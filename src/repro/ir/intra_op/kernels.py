@@ -342,6 +342,28 @@ class TraversalKernel(KernelInstance):
             total *= 2.0
         return total
 
+    def atomic_work_fraction(self) -> float:
+        """Share of this kernel's per-row work issued as atomic updates.
+
+        Forward kernels only pay the atomic penalty on their ``scatter_add``
+        statements (weighted by feature width); backward kernels accumulate
+        every adjoint atomically.  Feeds ``KernelWork.atomic_fraction`` so
+        fusing non-atomic micro-ops into an atomic kernel never makes the
+        non-atomic share of the work more expensive.
+        """
+        if not self.uses_atomics:
+            return 0.0
+        if self.direction == "backward":
+            return 1.0
+        total = 0.0
+        atomic = 0.0
+        for op in self.micro_ops:
+            dim = max(self._feature_dim(op.output), max((self._feature_dim(i) for i in op.inputs), default=1))
+            total += dim
+            if op.kind == "scatter_add":
+                atomic += dim
+        return atomic / total if total else 1.0
+
     def read_buffers(self) -> List[str]:
         written = {op.output for op in self.micro_ops}
         reads: List[str] = []

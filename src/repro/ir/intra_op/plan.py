@@ -122,6 +122,23 @@ class KernelPlan:
             "applied_passes": list(self.metadata.get("applied_passes", [])),
         }
 
+    def schedule_descriptions(self) -> List[str]:
+        """Distinct intra-op schedules of the forward kernels, in plan order.
+
+        Used by the autotuner's leaderboard reports: two candidate plans with
+        identical kernel structure still differ here when only their schedule
+        point (tile size, coarsening, rows per block, …) changed.
+        """
+        seen: List[str] = []
+        for kernel in self.forward_kernels:
+            schedule = getattr(kernel, "schedule", None)
+            if schedule is None:
+                continue
+            description = f"{kernel.category} {schedule.describe()}"
+            if description not in seen:
+                seen.append(description)
+        return seen
+
     def dump(self) -> str:
         """Readable listing of the plan's kernels."""
         lines = [f"kernel plan {self.name}"]

@@ -17,6 +17,12 @@ from typing import Optional
 #: Coarsening factors the GEMM template supports (Section 3.4.1).
 ALLOWED_COARSENING = (1, 2, 4)
 
+#: Tile widths the GEMM template is specialised for; the paper's default is 16.
+GEMM_TILE_CANDIDATES = (8, 16, 32)
+
+#: Work assignments the traversal template is specialised for (rows per block).
+TRAVERSAL_ROWS_CANDIDATES = (32, 128, 512)
+
 
 @dataclass
 class GemmSchedule:
@@ -103,3 +109,31 @@ def merge_traversal_schedules(a: TraversalSchedule, b: TraversalSchedule) -> Tra
     if not traversal_schedules_compatible(a, b):
         raise ValueError(f"cannot merge incompatible traversal schedules {a.describe()} / {b.describe()}")
     return a
+
+
+def gemm_schedule_variants(
+    tile_sizes=GEMM_TILE_CANDIDATES,
+    coarsening=ALLOWED_COARSENING,
+):
+    """Enumerate GEMM schedule points of the tuning design space, default first."""
+    default = GemmSchedule()
+    variants = [default]
+    for tile in tile_sizes:
+        for factor in coarsening:
+            if (tile, factor) != (default.tile_size, default.coarsening):
+                variants.append(GemmSchedule(tile_size=tile, coarsening=factor))
+    return variants
+
+
+def traversal_schedule_variants(
+    rows_per_block=TRAVERSAL_ROWS_CANDIDATES,
+    partial_aggregation=(True, False),
+):
+    """Enumerate traversal schedule points of the tuning design space, default first."""
+    default = TraversalSchedule()
+    variants = [default]
+    for rows in rows_per_block:
+        for partial in partial_aggregation:
+            if (rows, partial) != (default.rows_per_block, default.partial_aggregation):
+                variants.append(TraversalSchedule(rows_per_block=rows, partial_aggregation=partial))
+    return variants

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Mapping, Optional
 
 import numpy as np
@@ -89,6 +90,34 @@ class PlanExecutor:
         return env
 
     # ------------------------------------------------------------------
+    def timed_run(
+        self,
+        env: Dict[str, np.ndarray],
+        ctx: GraphContext,
+        output_grads: Optional[Mapping[str, np.ndarray]] = None,
+        repeats: int = 3,
+    ) -> float:
+        """Best wall-clock seconds of one forward (and optional backward) pass.
+
+        Used by the autotuner's measured-validation stage: the cost model
+        ranks the whole design space, and the top candidates are confirmed by
+        actually running the generated Python kernels.  The minimum over
+        ``repeats`` runs filters interpreter noise.  Gradient buffers are
+        cleared between repeats so backward timing measures a fresh pass, not
+        accumulation into warm buffers.
+        """
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            if output_grads is not None:
+                for name in [key for key in env if key.startswith("grad_")]:
+                    del env[name]
+            start = time.perf_counter()
+            self.run_forward(env, ctx)
+            if output_grads is not None:
+                self.run_backward(env, ctx, output_grads)
+            best = min(best, time.perf_counter() - start)
+        return best
+
     def parameter_gradients(self, env: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
         """Extract per-parameter gradients from an environment after backward."""
         grads: Dict[str, np.ndarray] = {}

@@ -1,0 +1,59 @@
+"""Measured validation: run top-ranked candidates on the python backend.
+
+The roofline cost model ranks the whole design space in microseconds per
+candidate; measurement is reserved for confirming the top few candidates on a
+*concrete* graph, where schedule-invariant effects the model abstracts away
+(interpreter overhead per kernel launch, allocation behaviour, fused-program
+dispatch) actually show up.  Numbers are wall-clock milliseconds of the
+generated Python kernels — meaningful relative to each other, not to CUDA.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+import numpy as np
+
+from repro.runtime.module import CompiledRGNNModule
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.frontend.compiler import CompilationResult
+    from repro.graph.hetero_graph import HeteroGraph
+
+
+def measure_candidate_ms(
+    result: "CompilationResult",
+    graph: "HeteroGraph",
+    mode: str = "inference",
+    repeats: int = 3,
+    seed: int = 0,
+) -> float:
+    """Best wall-clock milliseconds of one pass of a compiled candidate.
+
+    Args:
+        result: the candidate's compilation result.
+        graph: concrete graph to bind and run on.
+        mode: ``"inference"`` (forward only) or ``"training"`` (forward +
+            backward, requiring the candidate to have backward kernels).
+        repeats: timed repetitions; the minimum is reported.
+        seed: parameter/feature RNG seed (identical across candidates so
+            every candidate runs the same numerical workload).
+    """
+    if mode not in ("inference", "training"):
+        raise ValueError(f"unknown tuning mode {mode!r}")
+    module = CompiledRGNNModule(result.plan, result.generated, graph, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    features = rng.standard_normal((graph.num_nodes, result.program.in_dim))
+    outputs = module.forward(features)  # warm-up; also builds the environment
+    output_grads: Dict[str, np.ndarray] = {}
+    if mode == "training":
+        if not result.plan.backward_kernels:
+            raise ValueError("training-mode measurement needs a plan compiled with emit_backward")
+        output_grads = {name: np.ones_like(value) for name, value in outputs.items()}
+    seconds = module.executor.timed_run(
+        module._last_env,
+        module.ctx,
+        output_grads=output_grads if mode == "training" else None,
+        repeats=repeats,
+    )
+    return seconds * 1e3

@@ -41,3 +41,18 @@ def rng() -> np.random.Generator:
 @pytest.fixture
 def small_features(small_graph, rng) -> np.ndarray:
     return rng.standard_normal((small_graph.num_nodes, 8))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden snapshots under tests/golden/ instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    """Whether golden-snapshot tests should refresh their files."""
+    return request.config.getoption("--update-golden")

@@ -1,0 +1,168 @@
+"""Invariants of the roofline cost model the autotuner's ranking relies on.
+
+The tuner trusts the cost model to order candidates; these tests pin the
+properties that make that ordering trustworthy: monotonicity in work volume,
+a hard floor at launch latency, bounded efficiency terms, schedule-model
+neutrality at the default schedules, and fusion never being modeled as a
+slowdown.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.workload import WorkloadSpec
+from repro.frontend.compiler import compile_program
+from repro.frontend.config import CompilerOptions
+from repro.gpu.costmodel import (
+    KernelWork,
+    _occupancy,
+    estimate_kernel_time,
+    gemm_schedule_efficiency,
+    plan_execution_estimate,
+    schedule_efficiency_factor,
+    traversal_schedule_efficiency,
+)
+from repro.gpu.device import RTX_3090
+from repro.ir.intra_op.schedule import (
+    GemmSchedule,
+    TraversalSchedule,
+    gemm_schedule_variants,
+    traversal_schedule_variants,
+)
+from repro.models import MODEL_NAMES, build_program
+
+#: Grid of work shapes the parametrized invariants sweep over.
+SHAPES = [(64, 64), (5000, 64), (1_000_000, 64), (16, 8), (250_000, 512)]
+CATEGORIES = ["gemm", "traversal", "fallback"]
+
+
+def _work(rows, cols, category="gemm", flops=1e9, bytes_read=1e8, bytes_written=1e7,
+          launches=1, **kwargs):
+    return KernelWork(
+        name="k", category=category, flops=flops, bytes_read=bytes_read,
+        bytes_written=bytes_written, launches=launches, rows=rows, cols=cols, **kwargs,
+    )
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("category", CATEGORIES)
+    @pytest.mark.parametrize("rows,cols", SHAPES)
+    def test_time_is_monotone_in_flops(self, category, rows, cols):
+        times = [
+            estimate_kernel_time(_work(rows, cols, category, flops=flops)).total_time
+            for flops in (1e6, 1e8, 1e10, 1e12)
+        ]
+        assert times == sorted(times)
+
+    @pytest.mark.parametrize("category", CATEGORIES)
+    @pytest.mark.parametrize("rows,cols", SHAPES)
+    def test_time_is_monotone_in_bytes(self, category, rows, cols):
+        times = [
+            estimate_kernel_time(_work(rows, cols, category, bytes_read=b)).total_time
+            for b in (1e5, 1e7, 1e9, 1e11)
+        ]
+        assert times == sorted(times)
+
+    def test_atomics_and_outer_products_never_speed_up(self):
+        base = estimate_kernel_time(_work(5000, 64)).total_time
+        assert estimate_kernel_time(_work(5000, 64, uses_atomics=True)).total_time >= base
+        assert estimate_kernel_time(_work(5000, 64, has_outer_product=True)).total_time >= base
+
+
+class TestLatencyFloor:
+    @pytest.mark.parametrize("launches", [1, 2, 10, 1000])
+    @pytest.mark.parametrize("rows,cols", SHAPES)
+    def test_time_never_below_launch_latency_times_launches(self, launches, rows, cols):
+        work = _work(rows, cols, flops=1.0, bytes_read=1.0, bytes_written=0.0, launches=launches)
+        time = estimate_kernel_time(work).total_time
+        assert time >= launches * RTX_3090.kernel_launch_overhead_us * 1e-6
+
+
+class TestEfficiencyBounds:
+    @pytest.mark.parametrize("rows,cols", SHAPES + [(1, 1), (10**9, 10**6)])
+    def test_occupancy_stays_in_unit_interval(self, rows, cols):
+        occupancy = _occupancy(_work(rows, cols), RTX_3090)
+        assert 0.0 < occupancy <= 1.0
+
+    @pytest.mark.parametrize("schedule", gemm_schedule_variants())
+    @pytest.mark.parametrize("rows,cols", SHAPES)
+    def test_gemm_schedule_factor_is_positive_and_finite(self, schedule, rows, cols):
+        factor = gemm_schedule_efficiency(schedule, rows, cols)
+        assert 0.0 < factor < 10.0
+
+    @pytest.mark.parametrize("schedule", traversal_schedule_variants())
+    @pytest.mark.parametrize("uses_atomics", [False, True])
+    @pytest.mark.parametrize("rows,cols", SHAPES)
+    def test_traversal_schedule_factor_is_positive_and_finite(self, schedule, uses_atomics, rows, cols):
+        factor = traversal_schedule_efficiency(schedule, rows, uses_atomics)
+        assert 0.0 < factor < 10.0
+
+
+class TestScheduleNeutralityAtDefaults:
+    """Default schedules must be exactly cost-neutral (paper figures unchanged)."""
+
+    @pytest.mark.parametrize("rows,cols", SHAPES)
+    def test_default_schedules_map_to_factor_one(self, rows, cols):
+        assert gemm_schedule_efficiency(GemmSchedule(), rows, cols) == pytest.approx(1.0)
+        assert traversal_schedule_efficiency(TraversalSchedule(), rows, True) == pytest.approx(1.0)
+        assert traversal_schedule_efficiency(TraversalSchedule(), rows, False) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("model", MODEL_NAMES)
+    def test_default_plan_work_records_have_factor_one(self, model):
+        program = build_program(model)
+        plan = compile_program(program, CompilerOptions()).plan
+        workload = WorkloadSpec.from_dataset("aifb")
+        for kernel in plan.kernels("all"):
+            assert schedule_efficiency_factor(kernel, workload) == pytest.approx(1.0)
+
+
+class TestFusionNeverModeledSlower:
+    """A fused kernel's estimate never exceeds the sum of its parts' estimates.
+
+    Fusion concatenates the parts' arithmetic and (at most) their traffic
+    into one launch over the same grid, so with identical occupancy the
+    roofline maximum of sums is bounded by the sum of maxima, and one launch
+    costs less than several.
+    """
+
+    @pytest.mark.parametrize("rows,cols", SHAPES)
+    @pytest.mark.parametrize("category", ["gemm", "traversal"])
+    def test_merged_work_record_is_never_slower(self, rows, cols, category):
+        rng = np.random.default_rng(rows % 1009)
+        for _ in range(20):
+            parts = [
+                _work(
+                    rows,
+                    cols,
+                    category,
+                    flops=float(rng.uniform(1e5, 1e11)),
+                    bytes_read=float(rng.uniform(1e4, 1e10)),
+                    bytes_written=float(rng.uniform(1e4, 1e9)),
+                )
+                for _ in range(int(rng.integers(2, 5)))
+            ]
+            merged = _work(
+                rows,
+                cols,
+                category,
+                flops=sum(p.flops for p in parts),
+                bytes_read=sum(p.bytes_read for p in parts),
+                bytes_written=sum(p.bytes_written for p in parts),
+                launches=1,
+            )
+            merged_time = estimate_kernel_time(merged).total_time
+            parts_time = sum(estimate_kernel_time(p).total_time for p in parts)
+            assert merged_time <= parts_time + 1e-12
+
+    @pytest.mark.parametrize("model", MODEL_NAMES)
+    @pytest.mark.parametrize("dataset", ["aifb", "bgs", "mag"])
+    def test_elementwise_fusion_never_slower_on_real_plans(self, model, dataset):
+        """End to end: fuse_elementwise plans are never priced slower."""
+        program = build_program(model)
+        workload = WorkloadSpec.from_dataset(dataset)
+        unfused = compile_program(program, CompilerOptions()).plan
+        fused = compile_program(program, CompilerOptions(fuse_elementwise=True)).plan
+        for training in (False, True):
+            unfused_ms = plan_execution_estimate(unfused, workload, training=training).total_time_ms
+            fused_ms = plan_execution_estimate(fused, workload, training=training).total_time_ms
+            assert fused_ms <= unfused_ms * (1 + 1e-9), (model, dataset, training)

@@ -1,13 +1,22 @@
-"""Property-based tests: generated kernels agree with the reference on random graphs."""
+"""Property-based tests: generated kernels agree with the reference on random graphs.
+
+The ``TestDifferentialDesignSpaceSweep`` class at the bottom is the tuner's
+lock-down harness: every configuration the autotuner can reach — the four
+paper configurations × elementwise fusion × memory planner, plus schedule
+variants — must produce forward outputs and parameter gradients that match
+the eager reference within dtype tolerance.  Run it alone with
+``pytest -m differential``.
+"""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.frontend import compile_model
 from repro.frontend.config import CONFIGURATIONS
 from repro.graph import random_hetero_graph
-from repro.models import REFERENCE_CLASSES
+from repro.models import MODEL_NAMES, REFERENCE_CLASSES
 
 graph_params = st.tuples(
     st.integers(min_value=8, max_value=40),    # nodes
@@ -84,3 +93,82 @@ class TestStructuralProperties:
         module.forward(features)
         hs = module._last_env["hs"]
         assert hs.shape[0] == graph.compaction.num_unique
+
+
+# ----------------------------------------------------------------------
+# Differential harness over the tuner-reachable design space
+# ----------------------------------------------------------------------
+#: Schedule points exercised on top of the pass-level sweep; schedules must
+#: never change numerics, only the cost model and the emitted CUDA text.
+_SCHEDULE_VARIANTS = {
+    "gemm8x4": dict(gemm_tile_size=8, gemm_coarsening=4),
+    "gemm32x2": dict(gemm_tile_size=32, gemm_coarsening=2),
+    "trav32-nopartial": dict(traversal_rows_per_block=32, traversal_partial_aggregation=False),
+    "trav512": dict(traversal_rows_per_block=512),
+}
+
+
+def _tuner_reachable_configurations():
+    """Every design-space point class the autotuner can emit, as test params."""
+    for label, base in CONFIGURATIONS.items():
+        for fuse in (False, True):
+            for planner in (False, True):
+                options = base.with_(fuse_elementwise=fuse, enable_memory_planning=planner)
+                yield pytest.param(options, id=f"{label}-fuse{int(fuse)}-plan{int(planner)}")
+    for schedule_id, overrides in _SCHEDULE_VARIANTS.items():
+        options = CONFIGURATIONS["C+R"].with_(fuse_elementwise=True, **overrides)
+        yield pytest.param(options, id=f"C+R-fuse-{schedule_id}")
+
+
+#: Small random graphs (nodes, edges, node types, edge types, seed) — sized so
+#: the full sweep stays fast while still exercising multi-type segmentation.
+_DIFFERENTIAL_GRAPH = (24, 90, 2, 4, 13)
+
+
+@pytest.mark.differential
+class TestDifferentialDesignSpaceSweep:
+    @pytest.mark.parametrize("options", list(_tuner_reachable_configurations()))
+    @pytest.mark.parametrize("model", MODEL_NAMES)
+    def test_forward_and_backward_match_reference(self, model, options, dim=4):
+        nodes, edges, ntypes, etypes, seed = _DIFFERENTIAL_GRAPH
+        graph = random_hetero_graph(nodes, edges, ntypes, etypes, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        features = rng.standard_normal((graph.num_nodes, dim))
+
+        module = compile_model(model, graph, in_dim=dim, out_dim=dim, options=options, seed=seed % 50)
+        reference = REFERENCE_CLASSES[model](graph, dim, dim, seed=seed % 50)
+        reference.load_parameters({k: p.data for k, p in module.parameters_by_name.items()})
+
+        out = module.forward(features)
+        ref_out = reference.forward(features)
+        key = next(iter(out))
+        np.testing.assert_allclose(out[key], ref_out[key].data, atol=1e-8)
+
+        upstream = rng.standard_normal(out[key].shape)
+        grads = module.backward({key: upstream})
+        ref_out[key].backward(upstream)
+        ref_params = reference.named_parameter_dict()
+        assert set(grads) == set(module.parameters_by_name)
+        for name, grad in grads.items():
+            assert ref_params[name].grad is not None, name
+            np.testing.assert_allclose(grad, ref_params[name].grad, atol=1e-7, err_msg=name)
+
+    def test_sweep_covers_every_pass_point_of_the_tuning_space(self):
+        """The sweep's pass-level coverage matches what the tuner can reach."""
+        from repro.tuner import TuningSpace
+
+        sweep_keys = set()
+        for param in _tuner_reachable_configurations():
+            options = param.values[0]
+            sweep_keys.add(
+                (
+                    options.compact_materialization,
+                    options.linear_operator_reordering,
+                    options.fuse_elementwise,
+                )
+            )
+        space_keys = {
+            (o.compact_materialization, o.linear_operator_reordering, o.fuse_elementwise)
+            for o in TuningSpace().pass_candidates()
+        }
+        assert space_keys <= sweep_keys
