@@ -1,0 +1,135 @@
+"""Serving benchmarks: the acceptance gates of the compile→bind→execute split.
+
+Two claims are gated here:
+
+1. **Zero recompiles across sampled blocks** — one ``compile_model`` artefact
+   serves ≥ 3 differently-sized minibatch blocks, and after warmup every
+   per-block cache lookup is a *hit* returning the identical plan object
+   (asserted via the compilation-cache hit/miss counters).
+2. **Micro-batching pays** — on one request stream, the micro-batched engine
+   sustains ≥ 2× the throughput of a batch-size-1 engine, with ~100%
+   plan-replay rate on both.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.reporting import format_table
+from repro.evaluation.serving_study import (
+    default_serving_graph,
+    request_stream,
+    serving_rows,
+    serving_study,
+)
+from repro.frontend import (
+    CompilerOptions,
+    clear_compilation_cache,
+    compile_model,
+    compile_program,
+    global_compilation_cache,
+)
+from repro.graph import NeighborSampler
+from repro.models import build_program
+
+DIM = 16
+
+#: Inference serving configuration: cache + planner on, compact blocks.
+SERVING_OPTIONS = CompilerOptions(emit_backward=False, compact_materialization=True)
+
+
+@pytest.mark.smoke
+@pytest.mark.parametrize("model", ["rgat"])
+def test_microbatched_throughput_beats_batch_size_1(model):
+    """Acceptance gate: micro-batched throughput ≥ 2× batch-size-1."""
+    study = serving_study(
+        model=model,
+        num_requests=48,
+        seeds_per_request=4,
+        max_batch_size=16,
+        in_dim=DIM,
+        out_dim=DIM,
+    )
+    print()
+    print(format_table(
+        serving_rows(study),
+        title=f"Serving study — {study['model']} on {study['graph']} "
+              f"(speedup {study['speedup']}x)",
+    ))
+    assert study["zero_recompiles"], "serving recompiled a plan it should have replayed"
+    for row in serving_rows(study):
+        assert row["plan_replay_rate"] == 1.0, row
+    assert study["speedup"] >= 2.0, (
+        f"micro-batching regressed: {study['speedup']:.2f}x < 2x over batch-size-1"
+    )
+
+
+@pytest.mark.smoke
+def test_one_artifact_serves_many_block_sizes_with_zero_recompiles():
+    """Acceptance gate: ≥ 3 differently-sized blocks, zero recompiles after warmup."""
+    clear_compilation_cache()
+    graph = default_serving_graph()
+    program = build_program("rgat", in_dim=DIM, out_dim=DIM)
+    module = compile_model("rgat", graph, in_dim=DIM, out_dim=DIM, options=SERVING_OPTIONS)
+    features = np.random.default_rng(0).standard_normal((graph.num_nodes, DIM))
+
+    sampler = NeighborSampler(graph, fanouts=(6,), seed=3)
+    rng = np.random.default_rng(1)
+    blocks = [
+        sampler.sample(rng.choice(graph.num_nodes, size=size, replace=False))
+        for size in (2, 8, 32, 64)
+    ]
+    sizes = {(block.num_nodes, block.num_edges) for block in blocks}
+    assert len(sizes) >= 3, f"need ≥ 3 differently-sized blocks, got {sizes}"
+
+    # Warmup: the one compilation above plus one replayed lookup.
+    compile_program(program, SERVING_OPTIONS, graph=blocks[0].graph)
+    stats = global_compilation_cache().stats
+    misses_before, hits_before = stats.misses, stats.hits
+
+    rows = []
+    for block in blocks:
+        result = compile_program(program, SERVING_OPTIONS, graph=block.graph)
+        assert result.plan is module.plan, "block compiled to a different plan object"
+        binding = module.bind(block.graph)
+        out = binding.forward(block.gather_features(features))["out"]
+        assert block.seed_outputs(out).shape == (len(block.seeds), DIM)
+        rows.append({
+            "block_nodes": block.num_nodes,
+            "block_edges": block.num_edges,
+            "seeds": len(block.seeds),
+            "plan": result.plan.name,
+            "recompiled": result.plan is not module.plan,
+        })
+
+    assert stats.misses == misses_before, "a block lookup missed the compilation cache"
+    assert stats.hits == hits_before + len(blocks)
+    print()
+    print(format_table(rows, title="One compiled artefact, many block sizes — zero recompiles"))
+
+    pool = module.arena_pool
+    # One pooled lease per block (the default binding keeps a private,
+    # exact-size arena and never touches the pool).
+    assert pool is not None and pool.stats.lookups == len(blocks)
+
+
+@pytest.mark.smoke
+def test_plan_cache_hit_rate_is_one_after_warmup_across_request_stream():
+    """~100% plan-cache hit rate across a longer request stream."""
+    clear_compilation_cache()
+    graph = default_serving_graph()
+    from repro.serving import ServingEngine
+
+    engine = ServingEngine(
+        "hgt", graph, in_dim=DIM, out_dim=DIM, options=SERVING_OPTIONS,
+        fanouts=(6,), max_batch_size=8,
+    )
+    stats = global_compilation_cache().stats
+    misses_after_compile = stats.misses
+
+    stream = request_stream(graph, num_requests=40, seeds_per_request=3, seed=5)
+    report = engine.serve(stream)
+    assert report["plan_replay_rate"] == 1.0
+    assert engine.plan_recompiles == 0
+    assert stats.misses == misses_after_compile, "serving caused compilation-cache misses"
+    print()
+    print(format_table([report], title="HGT serving stream — plan replays only"))

@@ -4,8 +4,11 @@ framework for relational graph neural networks.
 Public entry points:
 
 * :func:`repro.compile_model` / :func:`repro.compile_program` — compile an
-  RGNN (RGCN, RGAT, HGT) into generated kernels bound to a heterogeneous graph.
-* :mod:`repro.graph` — heterogeneous graph substrate and the Table 3 datasets.
+  RGNN (RGCN, RGAT, HGT) into a schema-specialised module rebindable across
+  graphs sharing the schema (``module.bind(graph)``).
+* :mod:`repro.graph` — heterogeneous graph substrate, the Table 3 datasets,
+  and the minibatch block sampler (:mod:`repro.graph.sampler`).
+* :mod:`repro.serving` — the batched serving engine over sampled blocks.
 * :mod:`repro.tensor` — the numpy autograd tensor substrate.
 * :mod:`repro.ir` — the two-level IR, passes, templates, and code generator.
 * :mod:`repro.gpu` — the analytical GPU cost model (RTX 3090 stand-in).
@@ -15,7 +18,7 @@ Public entry points:
 
 from repro.frontend import CompilerOptions, compile_model, compile_program, hector_compile
 
-__version__ = "1.0.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CompilerOptions",

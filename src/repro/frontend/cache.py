@@ -18,6 +18,14 @@ identical :class:`~repro.frontend.compiler.CompilationResult`.  This mirrors
 how gt4py's backends cache generated artefacts per builder fingerprint and
 how slope compiles a program once into a single executable rather than
 re-deriving it per call.
+
+Exact node/edge counts deliberately never enter the key: compiled plans are
+specialised per (schema, feature dims), not per graph size, so differently
+sized sampled minibatch blocks of one graph replay one plan with zero
+recompiles.  Size-dependent runtime state (arena slabs) is handled one layer
+down, where :func:`repro.runtime.planner.dim_bucket` buckets runtime
+dimensions into power-of-two classes and the
+:class:`~repro.runtime.planner.ArenaPool` shares one pooled arena per bucket.
 """
 
 from __future__ import annotations
@@ -86,7 +94,9 @@ def fingerprint_graph_schema(graph: "HeteroGraph") -> str:
 
     The generated kernels are specialised per schema — parameter shapes and
     segment counts follow the node/edge type vocabulary — but not per concrete
-    edge list, so serving many graphs with one schema reuses one compilation.
+    edge list or node/edge count, so serving many graphs with one schema
+    (including every minibatch block sampled from one parent graph) reuses one
+    compilation.
     """
     digest = hashlib.sha256()
     digest.update(repr(tuple(sorted(graph.num_nodes_per_type))).encode())

@@ -3,10 +3,13 @@
 ``compile_program`` runs the optimization pipeline selected by
 :class:`repro.frontend.config.CompilerOptions`, lowers the result to a kernel
 plan, and generates both the executable Python kernels and the CUDA-like /
-host source text.  ``compile_model`` additionally binds the result to a
-heterogeneous graph, returning a ready-to-run
-:class:`repro.runtime.module.CompiledRGNNModule`.  ``hector_compile`` is the
-decorator-style interface corresponding to the paper's ``@hector.compile``.
+host source text.  ``compile_model`` additionally *binds* the result: it
+builds a schema-specialised :class:`repro.runtime.module.CompiledRGNNModule`
+and attaches the given graph as the module's default binding, so the module
+is ready to run — and can be rebound to any other graph sharing the schema
+(e.g. sampled minibatch blocks) via ``module.bind(graph)`` without
+recompiling.  ``hector_compile`` is the decorator-style interface
+corresponding to the paper's ``@hector.compile``.
 """
 
 from __future__ import annotations
@@ -130,10 +133,14 @@ def compile_model(
 ) -> CompiledRGNNModule:
     """Compile a named model (``"rgcn"``, ``"rgat"``, ``"hgt"``) for a graph.
 
-    With the compilation cache enabled (the default) repeated calls for the
-    same (model, dimensions, options, graph schema) reuse the compiled plan
-    and generated kernels; only the parameter initialisation and the module
-    binding run per call.
+    Compilation specialises per *schema* (type vocabulary + feature dims);
+    binding to the concrete ``graph`` is a separate, cheap step this function
+    performs last, so the returned module can serve any graph sharing the
+    schema through ``module.bind(other_graph)`` — the rebind path the serving
+    engine uses for sampled minibatch blocks.  With the compilation cache
+    enabled (the default) repeated calls for the same (model, dimensions,
+    options, graph schema) reuse the compiled plan and generated kernels;
+    only the parameter initialisation and the binding run per call.
 
     Args:
         model: model name registered in :mod:`repro.models`.

@@ -10,6 +10,11 @@ simulators operate on:
   accessor descriptions the traversal template specialises against.
 * :mod:`repro.graph.compaction` — the unique ``(source node, edge type)``
   mapping behind compact materialization (Section 3.2.2).
+* :mod:`repro.graph.schema` — the ordered type vocabulary a compiled module
+  is specialised for (the compile/bind contract).
+* :mod:`repro.graph.sampler` — seed-node → k-hop fanout-capped minibatch
+  blocks for the serving engine (compacted subgraphs with feature-gather and
+  output-scatter index maps).
 * :mod:`repro.graph.datasets` — the eight heterogeneous datasets of Table 3 as
   full-scale statistics plus scaled synthetic instantiations.
 """
@@ -17,6 +22,8 @@ simulators operate on:
 from repro.graph.hetero_graph import HeteroGraph
 from repro.graph.adjacency import COOAdjacency, CSRAdjacency, SegmentPointers
 from repro.graph.compaction import CompactionIndex, build_compaction_index
+from repro.graph.schema import GraphSchema
+from repro.graph.sampler import MinibatchBlock, NeighborSampler, sample_block
 from repro.graph.datasets import (
     DATASETS,
     DatasetStats,
@@ -28,6 +35,10 @@ from repro.graph.generators import random_hetero_graph
 
 __all__ = [
     "HeteroGraph",
+    "GraphSchema",
+    "MinibatchBlock",
+    "NeighborSampler",
+    "sample_block",
     "COOAdjacency",
     "CSRAdjacency",
     "SegmentPointers",

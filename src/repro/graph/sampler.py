@@ -1,0 +1,310 @@
+"""Minibatch block sampling: per-request subgraphs for serving and training.
+
+Production GNN inference does not run a compiled layer over one static full
+graph — each request names a handful of *seed* nodes, and the system samples
+their k-hop incoming neighborhood (capped per relation by a *fanout*) into a
+compacted minibatch *block*.  This module produces such blocks as ordinary
+:class:`~repro.graph.hetero_graph.HeteroGraph` objects that preserve the
+parent's full schema (same node-type and relation vocabulary, in the same
+order, with empty relations kept), so a schema-specialised compiled module
+binds them directly — ``module.bind(block.graph)`` — and the whole existing
+machinery (segment pointers, :class:`~repro.graph.compaction.CompactionIndex`
+compact materialization, degree normalisation) applies to blocks unchanged.
+
+A :class:`MinibatchBlock` additionally carries the index maps serving needs:
+``node_map`` gathers parent-graph features into block order, and
+``seed_positions`` scatters block outputs back to the request's seeds.
+
+Sampling semantics (single merged block, DGL-style incoming-neighbor
+sampling):
+
+* hop 1 draws at most ``fanouts[0]`` incoming edges per (seed, relation);
+  hop ``k`` repeats from the nodes hop ``k-1`` reached;
+* a node's incoming neighborhood is drawn once per ``sample`` call — if the
+  frontier revisits a node, the memoised draw is reused, so per-relation
+  in-degrees in the block never exceed the fanout cap;
+* ``fanout=None`` keeps the full neighborhood, in which case every seed's
+  one-hop aggregation over the block is *exact*: it matches the full-graph
+  computation restricted to the seeds (the property the sampler tests pin).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.hetero_graph import CanonicalEtype, HeteroGraph
+from repro.graph.schema import GraphSchema
+
+#: Per-hop fanout: max sampled incoming edges per (node, relation); None = all.
+Fanout = Optional[int]
+
+
+@dataclass
+class MinibatchBlock:
+    """A compacted sampled subgraph plus its parent-graph index maps.
+
+    Attributes:
+        graph: the block as a :class:`HeteroGraph` with the parent's full
+            schema; node ids are block-local (contiguous, grouped by type).
+        parent: the graph the block was sampled from.
+        node_map: ``(block.num_nodes,)`` — parent global node id of every
+            block node (the feature-gather map).
+        seeds: the requested seed nodes, as parent global ids, request order.
+        seed_positions: ``(len(seeds),)`` — block global node id of every
+            seed (the output-scatter map).
+        fanouts: the per-hop fanout configuration the block was sampled with.
+    """
+
+    graph: HeteroGraph
+    parent: HeteroGraph
+    node_map: np.ndarray
+    seeds: np.ndarray
+    seed_positions: np.ndarray
+    fanouts: Tuple[Fanout, ...]
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    def gather_features(self, parent_features: np.ndarray) -> np.ndarray:
+        """Restrict a parent-graph feature matrix to the block's nodes."""
+        parent_features = np.asarray(parent_features)
+        if parent_features.shape[0] != self.parent.num_nodes:
+            raise ValueError(
+                f"expected {self.parent.num_nodes} parent feature rows "
+                f"(graph {self.parent.name!r}), got {parent_features.shape[0]}"
+            )
+        return parent_features[self.node_map]
+
+    def seed_outputs(self, block_rows: np.ndarray) -> np.ndarray:
+        """Extract the per-seed rows from a block-shaped output matrix."""
+        block_rows = np.asarray(block_rows)
+        if block_rows.shape[0] != self.graph.num_nodes:
+            raise ValueError(
+                f"expected {self.graph.num_nodes} block rows, got {block_rows.shape[0]}"
+            )
+        return block_rows[self.seed_positions]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"MinibatchBlock(parent={self.parent.name!r}, seeds={len(self.seeds)}, "
+            f"nodes={self.num_nodes}, edges={self.num_edges}, fanouts={self.fanouts})"
+        )
+
+
+class NeighborSampler:
+    """K-hop incoming-neighbor sampler over one parent graph.
+
+    Args:
+        graph: the parent heterogeneous graph.
+        fanouts: one entry per hop; each is the max number of incoming edges
+            kept per (node, relation), or ``None`` for the full neighborhood.
+        seed: RNG seed; a sampler is deterministic given (seed, call order).
+    """
+
+    def __init__(self, graph: HeteroGraph, fanouts: Sequence[Fanout] = (None,), seed: int = 0):
+        if not len(fanouts):
+            raise ValueError("fanouts needs at least one hop")
+        for fanout in fanouts:
+            if fanout is not None and fanout < 1:
+                raise ValueError(f"fanout must be >= 1 or None (full), got {fanout}")
+        self.graph = graph
+        self.fanouts: Tuple[Fanout, ...] = tuple(fanouts)
+        self.schema = GraphSchema.from_graph(graph)
+        self._rng = np.random.default_rng(seed)
+        # Per-relation incoming-edge CSR: edge positions sorted by destination,
+        # so one slice yields a destination's incoming edges of that relation.
+        self._in_edges: Dict[CanonicalEtype, Tuple[np.ndarray, np.ndarray]] = {}
+        for etype, (_, dst_local) in graph.edges_per_relation.items():
+            n_dst = graph.num_nodes_per_type[etype[2]]
+            order = np.argsort(dst_local, kind="stable")
+            offsets = np.zeros(n_dst + 1, dtype=np.int64)
+            np.cumsum(np.bincount(dst_local, minlength=n_dst), out=offsets[1:])
+            self._in_edges[etype] = (order, offsets)
+
+    # ------------------------------------------------------------------
+    def sample(self, seeds) -> MinibatchBlock:
+        """Sample the block of a set of seed nodes (parent global ids)."""
+        graph = self.graph
+        seeds = np.asarray(seeds, dtype=np.int64).reshape(-1)
+        if seeds.size == 0:
+            raise ValueError("a minibatch needs at least one seed node")
+        if seeds.min() < 0 or seeds.max() >= graph.num_nodes:
+            raise ValueError(
+                f"seed ids must lie in [0, {graph.num_nodes}) for graph {graph.name!r}"
+            )
+
+        # One neighborhood draw per (relation, destination) per call: revisits
+        # reuse it, keeping per-relation in-degrees within the fanout cap.
+        drawn: Dict[Tuple[CanonicalEtype, int], np.ndarray] = {}
+        kept_positions: Dict[CanonicalEtype, List[np.ndarray]] = {
+            etype: [] for etype in graph.canonical_etypes
+        }
+
+        frontier = np.unique(seeds)
+        for fanout in self.fanouts:
+            next_frontier: List[np.ndarray] = []
+            for etype in graph.canonical_etypes:
+                src_type, _, dst_type = etype
+                src_local, dst_local = graph.edges_per_relation[etype]
+                if not len(src_local):
+                    continue
+                dst_offset = graph.node_type_offset(dst_type)
+                n_dst = graph.num_nodes_per_type[dst_type]
+                in_type = frontier[
+                    (frontier >= dst_offset) & (frontier < dst_offset + n_dst)
+                ]
+                if not len(in_type):
+                    continue
+                positions = self._draw(etype, in_type - dst_offset, fanout, drawn)
+                if not len(positions):
+                    continue
+                kept_positions[etype].append(positions)
+                next_frontier.append(
+                    src_local[positions] + graph.node_type_offset(src_type)
+                )
+            frontier = (
+                np.unique(np.concatenate(next_frontier))
+                if next_frontier
+                else np.zeros(0, dtype=np.int64)
+            )
+            if not len(frontier):
+                break
+
+        return self._compact(seeds, kept_positions)
+
+    def _draw(
+        self,
+        etype: CanonicalEtype,
+        dst_locals: np.ndarray,
+        fanout: Fanout,
+        drawn: Dict[Tuple[CanonicalEtype, int], np.ndarray],
+    ) -> np.ndarray:
+        """Edge positions (relation-local) sampled for these destinations."""
+        order, offsets = self._in_edges[etype]
+        chunks: List[np.ndarray] = []
+        for dst in dst_locals.tolist():
+            key = (etype, dst)
+            picked = drawn.get(key)
+            if picked is None:
+                incoming = order[offsets[dst]:offsets[dst + 1]]
+                if fanout is not None and len(incoming) > fanout:
+                    picked = self._rng.choice(incoming, size=fanout, replace=False)
+                    picked.sort()
+                else:
+                    picked = incoming
+                drawn[key] = picked
+            if len(picked):
+                chunks.append(picked)
+        if not chunks:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(chunks)
+
+    # ------------------------------------------------------------------
+    def _compact(
+        self,
+        seeds: np.ndarray,
+        kept_positions: Dict[CanonicalEtype, List[np.ndarray]],
+    ) -> MinibatchBlock:
+        """Relabel the sampled nodes/edges into a schema-preserving block."""
+        graph = self.graph
+
+        # Deduplicated edge positions per relation (a destination revisited
+        # across hops contributes its memoised draw once).
+        final_positions: Dict[CanonicalEtype, np.ndarray] = {}
+        for etype, chunks in kept_positions.items():
+            final_positions[etype] = (
+                np.unique(np.concatenate(chunks)) if chunks else np.zeros(0, dtype=np.int64)
+            )
+
+        # Node set per type: seeds plus every endpoint of a kept edge.
+        kept_locals: Dict[str, List[np.ndarray]] = {t: [] for t in graph.node_type_names}
+        seed_types = np.searchsorted(graph.node_type_offsets, seeds, side="right") - 1
+        for type_id, type_name in enumerate(graph.node_type_names):
+            of_type = seeds[seed_types == type_id]
+            if len(of_type):
+                kept_locals[type_name].append(of_type - graph.node_type_offsets[type_id])
+        for etype, positions in final_positions.items():
+            if not len(positions):
+                continue
+            src_type, _, dst_type = etype
+            src_local, dst_local = graph.edges_per_relation[etype]
+            kept_locals[src_type].append(src_local[positions])
+            kept_locals[dst_type].append(dst_local[positions])
+        unique_locals: Dict[str, np.ndarray] = {
+            t: (np.unique(np.concatenate(chunks)) if chunks else np.zeros(0, dtype=np.int64))
+            for t, chunks in kept_locals.items()
+        }
+
+        # Block layout: parent type order, sorted parent-local ids per type.
+        block_counts = {t: int(len(unique_locals[t])) for t in graph.node_type_names}
+        block_offsets: Dict[str, int] = {}
+        running = 0
+        for t in graph.node_type_names:
+            block_offsets[t] = running
+            running += block_counts[t]
+        node_map_chunks = [
+            unique_locals[t] + graph.node_type_offset(t) for t in graph.node_type_names
+        ]
+        node_map = (
+            np.concatenate(node_map_chunks) if running else np.zeros(0, dtype=np.int64)
+        )
+
+        # Relabel every relation's endpoints into block-local ids, keeping the
+        # parent's full relation vocabulary (empty relations stay, so edge-type
+        # ids — and therefore per-relation weights — line up).
+        block_edges: Dict[CanonicalEtype, Tuple[np.ndarray, np.ndarray]] = {}
+        for etype in graph.canonical_etypes:
+            positions = final_positions[etype]
+            src_type, _, dst_type = etype
+            if not len(positions):
+                block_edges[etype] = (
+                    np.zeros(0, dtype=np.int64),
+                    np.zeros(0, dtype=np.int64),
+                )
+                continue
+            src_local, dst_local = graph.edges_per_relation[etype]
+            block_edges[etype] = (
+                np.searchsorted(unique_locals[src_type], src_local[positions]),
+                np.searchsorted(unique_locals[dst_type], dst_local[positions]),
+            )
+
+        block_graph = HeteroGraph(
+            {t: block_counts[t] for t in graph.node_type_names},
+            block_edges,
+            name=f"{graph.name}/block[{len(seeds)}s,{running}n]",
+        )
+
+        seed_positions = np.empty(len(seeds), dtype=np.int64)
+        for index, (seed, type_id) in enumerate(zip(seeds.tolist(), seed_types.tolist())):
+            type_name = graph.node_type_names[type_id]
+            local = seed - int(graph.node_type_offsets[type_id])
+            seed_positions[index] = block_offsets[type_name] + int(
+                np.searchsorted(unique_locals[type_name], local)
+            )
+
+        return MinibatchBlock(
+            graph=block_graph,
+            parent=graph,
+            node_map=node_map,
+            seeds=seeds,
+            seed_positions=seed_positions,
+            fanouts=self.fanouts,
+        )
+
+
+def sample_block(
+    graph: HeteroGraph,
+    seeds,
+    fanouts: Sequence[Fanout] = (None,),
+    seed: int = 0,
+) -> MinibatchBlock:
+    """One-shot convenience wrapper around :class:`NeighborSampler`."""
+    return NeighborSampler(graph, fanouts=fanouts, seed=seed).sample(seeds)

@@ -1,0 +1,79 @@
+"""Graph schemas: the type vocabulary a compiled module is specialised for.
+
+A compiled RGNN layer depends on a graph only through its *schema* — the
+ordered node-type and canonical-edge-type vocabularies that size per-type
+weights and segment loops — never through concrete node or edge counts.  The
+schema is therefore the contract between a schema-specialised
+:class:`repro.runtime.module.CompiledRGNNModule` and the many graph bindings
+(full graphs, sampled minibatch blocks) it can execute against.
+
+Order matters: edge-type and node-type *ids* index parameter slices, so two
+graphs are binding-compatible only when their vocabularies match element for
+element, not merely as sets.  (The compilation cache fingerprints the sorted
+vocabulary, which is weaker; :meth:`GraphSchema.validate_graph` enforces the
+stronger ordered contract the runtime needs.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.graph.hetero_graph import CanonicalEtype, HeteroGraph
+
+
+@dataclass(frozen=True)
+class GraphSchema:
+    """Ordered type vocabulary of a heterogeneous graph.
+
+    Attributes:
+        node_type_names: node type names in id order.
+        canonical_etypes: canonical edge types ``(src, rel, dst)`` in id order.
+    """
+
+    node_type_names: Tuple[str, ...]
+    canonical_etypes: Tuple[CanonicalEtype, ...]
+
+    @classmethod
+    def from_graph(cls, graph: HeteroGraph) -> "GraphSchema":
+        """The schema of a concrete graph (or sampled block)."""
+        return cls(
+            node_type_names=tuple(graph.node_type_names),
+            canonical_etypes=tuple(graph.canonical_etypes),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_node_types(self) -> int:
+        return len(self.node_type_names)
+
+    @property
+    def num_edge_types(self) -> int:
+        return len(self.canonical_etypes)
+
+    def matches(self, graph: HeteroGraph) -> bool:
+        """Whether a graph has exactly this schema (same vocabularies, same order)."""
+        return (
+            tuple(graph.node_type_names) == self.node_type_names
+            and tuple(graph.canonical_etypes) == self.canonical_etypes
+        )
+
+    def validate_graph(self, graph: HeteroGraph) -> None:
+        """Raise a descriptive ``ValueError`` unless ``graph`` has this schema."""
+        if tuple(graph.node_type_names) != self.node_type_names:
+            raise ValueError(
+                f"graph {graph.name!r} has node types {tuple(graph.node_type_names)}, "
+                f"but the module is specialised for {self.node_type_names} "
+                "(same names in the same order are required: node-type ids index weights)"
+            )
+        if tuple(graph.canonical_etypes) != self.canonical_etypes:
+            raise ValueError(
+                f"graph {graph.name!r} has edge types {tuple(graph.canonical_etypes)}, "
+                f"but the module is specialised for {self.canonical_etypes} "
+                "(same relations in the same order are required: edge-type ids index weights)"
+            )
+
+    def __str__(self) -> str:
+        return (
+            f"schema<{self.num_node_types} node types, {self.num_edge_types} edge types>"
+        )

@@ -1,19 +1,34 @@
-"""Hector runtime: graph context, kernel executor, memory planning, compiled modules."""
+"""Hector runtime: graph context, executor, memory planning, rebindable modules."""
 
+from repro.runtime.binding import GraphBinding
 from repro.runtime.context import GraphContext
 from repro.runtime.executor import PlanExecutor
 from repro.runtime.memory import MemoryModel, OutOfMemoryError
 from repro.runtime.module import CompiledRGNNModule
-from repro.runtime.planner import BufferArena, BufferLifetime, MemoryPlan, MemoryPlanner
+from repro.runtime.planner import (
+    ArenaLease,
+    ArenaPool,
+    ArenaPoolStats,
+    BufferArena,
+    BufferLifetime,
+    MemoryPlan,
+    MemoryPlanner,
+    dim_bucket,
+)
 
 __all__ = [
     "GraphContext",
+    "GraphBinding",
     "PlanExecutor",
     "MemoryModel",
     "OutOfMemoryError",
     "CompiledRGNNModule",
+    "ArenaLease",
+    "ArenaPool",
+    "ArenaPoolStats",
     "BufferArena",
     "BufferLifetime",
     "MemoryPlan",
     "MemoryPlanner",
+    "dim_bucket",
 ]

@@ -3,32 +3,34 @@
 from __future__ import annotations
 
 import time
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Union
 
 import numpy as np
 
 from repro.ir.codegen.python_backend import GeneratedModule
 from repro.ir.intra_op.plan import KernelPlan
 from repro.runtime.context import GraphContext
-from repro.runtime.planner import BufferArena
+from repro.runtime.planner import ArenaLease, BufferArena
 
 
 class PlanExecutor:
     """Runs the generated forward and backward kernels of a plan.
 
     The executor owns no state beyond the plan, its generated functions, and
-    an optional :class:`~repro.runtime.planner.BufferArena`; callers pass the
-    buffer environment explicitly, which makes it easy for tests to inspect
-    every intermediate value.  When an arena is attached, intermediate
-    buffers are bound from its preallocated slots before each run instead of
-    being freshly allocated by the generated kernels.
+    an optional arena (a private :class:`~repro.runtime.planner.BufferArena`
+    or a pooled :class:`~repro.runtime.planner.ArenaLease` — anything with a
+    ``bind(env)`` method); callers pass the buffer environment explicitly,
+    which makes it easy for tests to inspect every intermediate value.  When
+    an arena is attached, intermediate buffers are bound from its
+    preallocated slots before each run instead of being freshly allocated by
+    the generated kernels.
     """
 
     def __init__(
         self,
         plan: KernelPlan,
         generated: GeneratedModule,
-        arena: Optional[BufferArena] = None,
+        arena: Optional[Union[BufferArena, ArenaLease]] = None,
     ):
         self.plan = plan
         self.generated = generated

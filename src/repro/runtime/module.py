@@ -1,10 +1,20 @@
-"""Compiled RGNN modules: parameters + generated kernels bound to a graph.
+"""Compiled RGNN modules: schema-specialised parameters + generated kernels.
 
 This is the runtime object the frontend returns from compilation, playing the
-role of the PyTorch ``autograd.Function`` subclasses the real Hector registers:
-it owns the layer's parameters, fills the buffer environment, runs the
-generated forward kernels, and (for training) the paired backward kernels that
-produce parameter gradients.
+role of the PyTorch ``autograd.Function`` subclasses the real Hector
+registers.  A module is specialised for a *schema* (the ordered node/edge
+type vocabulary that sizes per-type weights) and for the plan's feature
+dimensions — never for one concrete graph.  Attaching it to a graph is a
+separate, cheap step: :meth:`CompiledRGNNModule.bind` produces a
+:class:`~repro.runtime.binding.GraphBinding` (graph context + arena lease +
+executor), and one module serves many bindings — the full training graph and
+any number of sampled minibatch blocks — with parameters shared across all
+of them.
+
+For backward compatibility the module keeps the classic bound-module API:
+constructing it with a graph creates a *default binding*, and
+``forward`` / ``backward`` / ``graph`` / ``ctx`` / ``arena`` / ``executor``
+delegate to it, so ``compile_model(...)`` callers are unaffected.
 """
 
 from __future__ import annotations
@@ -14,57 +24,142 @@ from typing import Dict, Mapping, Optional
 import numpy as np
 
 from repro.graph.hetero_graph import HeteroGraph
+from repro.graph.schema import GraphSchema
 from repro.ir.codegen.python_backend import GeneratedModule
 from repro.ir.inter_op.space import Space, ValueInfo
 from repro.ir.intra_op.plan import KernelPlan
+from repro.runtime.binding import GraphBinding
 from repro.runtime.context import GraphContext
-from repro.runtime.executor import PlanExecutor
-from repro.runtime.planner import MemoryPlanner
+from repro.runtime.planner import ArenaPool, MemoryPlanner
 from repro.tensor import init as tensor_init
 from repro.tensor.nn import Parameter
 
 
 class CompiledRGNNModule:
-    """A compiled RGNN layer bound to a specific heterogeneous graph.
+    """A compiled RGNN layer, rebindable across graphs sharing one schema.
 
     Args:
         plan: the lowered kernel plan.
         generated: the Python backend's generated kernels for that plan.
-        graph: the graph the module is specialised for (its node/edge type
-            counts determine parameter shapes; its index arrays feed the
-            generated access schemes).
+        graph: optional graph to create the default binding against (its type
+            vocabulary defines the schema when ``schema`` is not given).
         seed: RNG seed for parameter initialisation.
+        schema: explicit :class:`~repro.graph.schema.GraphSchema` to
+            specialise for; required when ``graph`` is ``None``.
+        arena_pool: explicit :class:`~repro.runtime.planner.ArenaPool`;
+            defaults to a module-private pool (modules sharing a cached plan
+            must not share buffers).
     """
 
     def __init__(
         self,
         plan: KernelPlan,
         generated: GeneratedModule,
-        graph: HeteroGraph,
+        graph: Optional[HeteroGraph] = None,
         seed: int = 0,
+        *,
+        schema: Optional[GraphSchema] = None,
+        arena_pool: Optional[ArenaPool] = None,
     ):
+        if schema is None:
+            if graph is None:
+                raise ValueError("CompiledRGNNModule needs a graph or an explicit schema")
+            schema = GraphSchema.from_graph(graph)
         self.plan = plan
         self.generated = generated
-        self.graph = graph
-        self.ctx = GraphContext.cached(graph)
-        self.arena = None
+        self.schema = schema
+        self.memory_planner: Optional[MemoryPlanner] = None
+        self.arena_pool: Optional[ArenaPool] = None
         if plan.metadata.get("memory_planning_enabled"):
-            # Preallocate the intermediate buffers once; every forward (and
-            # backward) invocation then reuses the same arena-backed arrays
-            # instead of allocating afresh.  Arenas are per-module — modules
-            # sharing a cached plan must not share buffers.
-            self.arena = MemoryPlanner(plan).build_arena(self.ctx)
-        self.executor = PlanExecutor(plan, generated, arena=self.arena)
+            self.memory_planner = MemoryPlanner(plan)
+            self.arena_pool = arena_pool or ArenaPool()
         self.parameters_by_name: Dict[str, Parameter] = {}
         self._init_parameters(seed)
-        self._last_env: Optional[Dict[str, np.ndarray]] = None
+        self._default_binding: Optional[GraphBinding] = None
+        if graph is not None:
+            # Exact-size private arena: the classic one-module-one-graph path
+            # must not pay the pooled arenas' bucket-rounded slab sizes.
+            self._default_binding = self.bind(graph, pooled=False)
 
+    @classmethod
+    def for_schema(
+        cls,
+        plan: KernelPlan,
+        generated: GeneratedModule,
+        schema: GraphSchema,
+        seed: int = 0,
+    ) -> "CompiledRGNNModule":
+        """An unbound module: compile-side artefact only, bind graphs later."""
+        return cls(plan, generated, graph=None, seed=seed, schema=schema)
+
+    # ------------------------------------------------------------------
+    # binding
+    # ------------------------------------------------------------------
+    def bind(self, graph: HeteroGraph, *, pooled: bool = True) -> GraphBinding:
+        """Attach the module to a concrete graph (full graph or sampled block).
+
+        Validates the graph against the module's schema, reuses the memoised
+        graph context, and leases an arena.  ``pooled=True`` (the default for
+        explicit rebinds — the serving pattern) leases from the module's
+        bucketed LRU pool, so same-bucket bindings share slabs;
+        ``pooled=False`` builds a private arena sized exactly for ``graph``
+        (the default binding uses this: a module bound once to one full graph
+        should not pay the power-of-two bucket ceiling).  The returned
+        binding shares this module's parameters either way.
+        """
+        self.schema.validate_graph(graph)
+        ctx = GraphContext.cached(graph)
+        lease = None
+        if self.memory_planner is not None:
+            if pooled and self.arena_pool is not None:
+                lease = self.arena_pool.lease(self.memory_planner, ctx)
+            else:
+                lease = self.memory_planner.build_arena(ctx).lease()
+        return GraphBinding(self, graph, ctx, arena_lease=lease)
+
+    @property
+    def default_binding(self) -> Optional[GraphBinding]:
+        """The binding created at construction time, if a graph was given."""
+        return self._default_binding
+
+    def _require_binding(self) -> GraphBinding:
+        if self._default_binding is None:
+            raise RuntimeError(
+                "this module is not bound to a graph; call module.bind(graph) and use "
+                "the returned GraphBinding (or construct the module with a graph)"
+            )
+        return self._default_binding
+
+    # Delegation: the classic bound-module surface, routed through the
+    # default binding so pre-refactor callers keep working unchanged.
+    @property
+    def graph(self) -> HeteroGraph:
+        return self._require_binding().graph
+
+    @property
+    def ctx(self) -> GraphContext:
+        return self._require_binding().ctx
+
+    @property
+    def arena(self):
+        return self._require_binding().arena
+
+    @property
+    def executor(self):
+        return self._require_binding().executor
+
+    @property
+    def _last_env(self) -> Optional[Dict[str, np.ndarray]]:
+        return self._require_binding()._last_env
+
+    # ------------------------------------------------------------------
+    # parameters
     # ------------------------------------------------------------------
     def _parameter_shape(self, info: ValueInfo) -> tuple:
         if info.per_type == "edge_type":
-            return (self.graph.num_edge_types,) + tuple(info.feature_shape)
+            return (self.schema.num_edge_types,) + tuple(info.feature_shape)
         if info.per_type == "node_type":
-            return (self.graph.num_node_types,) + tuple(info.feature_shape)
+            return (self.schema.num_node_types,) + tuple(info.feature_shape)
         return tuple(info.feature_shape)
 
     def _init_parameters(self, seed: int) -> None:
@@ -80,71 +175,37 @@ class CompiledRGNNModule:
     def num_parameters(self) -> int:
         return int(sum(p.size for p in self.parameters()))
 
-    # ------------------------------------------------------------------
-    def _default_inputs(self) -> Dict[str, np.ndarray]:
-        """Inputs the module can derive from the graph itself (e.g. RGCN norm)."""
-        derived: Dict[str, np.ndarray] = {}
-        for name in self.plan.input_names:
-            if name == "norm":
-                derived[name] = self.ctx.degree_normalization()
-        return derived
+    @property
+    def input_feature_dim(self) -> Optional[int]:
+        """The in-dimension the plan's node-feature inputs expect, if uniform."""
+        dims = {
+            self.plan.buffers[name].feature_shape[0]
+            for name in self.plan.input_names
+            if self.plan.buffers[name].space is Space.NODE
+            and len(self.plan.buffers[name].feature_shape) == 1
+        }
+        return int(next(iter(dims))) if len(dims) == 1 else None
 
+    # ------------------------------------------------------------------
+    # execution (delegates to the default binding)
+    # ------------------------------------------------------------------
     def forward(self, node_features: np.ndarray, extra_inputs: Optional[Mapping[str, np.ndarray]] = None
                 ) -> Dict[str, np.ndarray]:
-        """Run the generated forward kernels.
+        """Run the generated forward kernels on the default binding.
 
-        Args:
-            node_features: ``(num_nodes, in_dim)`` feature matrix bound to the
-                plan's node-feature input.
-            extra_inputs: optional additional named inputs.
-
-        Returns:
-            Mapping from output value name to its numpy array.
+        See :meth:`GraphBinding.forward`; use :meth:`bind` to execute against
+        other graphs.
         """
-        node_features = np.asarray(node_features, dtype=np.float64)
-        if node_features.shape[0] != self.graph.num_nodes:
-            raise ValueError(
-                f"expected {self.graph.num_nodes} feature rows, got {node_features.shape[0]}"
-            )
-        env: Dict[str, np.ndarray] = {}
-        env.update(self._default_inputs())
-        if extra_inputs:
-            env.update({k: np.asarray(v, dtype=np.float64) for k, v in extra_inputs.items()})
-        feature_inputs = [
-            name for name in self.plan.input_names
-            if self.plan.buffers[name].space is Space.NODE and name not in env
-        ]
-        for name in feature_inputs:
-            env[name] = node_features
-        for name, parameter in self.parameters_by_name.items():
-            env[name] = parameter.data
-        self.executor.run_forward(env, self.ctx)
-        self._last_env = env
-        return {name: env[name] for name in self.plan.output_names}
+        return self._require_binding().forward(node_features, extra_inputs)
 
     __call__ = forward
 
     def backward(self, output_grads: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
-        """Run the generated backward kernels and accumulate parameter gradients.
+        """Run the generated backward kernels on the default binding.
 
-        Args:
-            output_grads: gradient of the loss w.r.t. each output value.
-
-        Returns:
-            Mapping from parameter name to its gradient array (also accumulated
-            into each :class:`Parameter`'s ``.grad``).
+        See :meth:`GraphBinding.backward`.
         """
-        if self._last_env is None:
-            raise RuntimeError("backward() called before forward()")
-        env = self.executor.run_backward(self._last_env, self.ctx, output_grads)
-        grads = self.executor.parameter_gradients(env)
-        for name, grad in grads.items():
-            parameter = self.parameters_by_name[name]
-            if parameter.grad is None:
-                parameter.grad = grad.copy()
-            else:
-                parameter.grad = parameter.grad + grad
-        return grads
+        return self._require_binding().backward(output_grads)
 
     def zero_grad(self) -> None:
         """Clear parameter gradients."""
@@ -160,5 +221,7 @@ class CompiledRGNNModule:
         """Plan summary plus parameter count (for reports and tests)."""
         info = self.plan.summary()
         info["num_parameters"] = self.num_parameters()
-        info["graph"] = self.graph.name
+        info["graph"] = (
+            self._default_binding.graph.name if self._default_binding is not None else str(self.schema)
+        )
         return info

@@ -21,6 +21,15 @@ that gap in two steps:
    into memory that persists across invocations instead of triggering fresh
    allocations every call.
 
+3. :class:`ArenaPool` extends the reuse across *graph bindings*: serving
+   workloads execute one compiled plan against many sampled minibatch blocks
+   whose node/edge counts differ per request.  Instead of allocating a fresh
+   arena per block, the pool buckets the runtime dimensions into power-of-two
+   size classes (:func:`dim_bucket`) and hands every binding in a bucket the
+   same slab-backed arena, re-viewed (:meth:`BufferArena.ensure_shapes`) to
+   the binding's concrete shapes.  Live arenas are LRU-bounded so a long tail
+   of rare block sizes cannot accumulate slabs without bound.
+
 The planner also runs in a purely analytic mode against a
 :class:`~repro.evaluation.workload.WorkloadSpec` (no arrays allocated), which
 is how the Figure 10 memory study reports the footprint the arena schedule
@@ -29,7 +38,8 @@ achieves relative to naive whole-pass materialisation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
@@ -37,6 +47,20 @@ import numpy as np
 from repro.ir.intra_op.kernels import GemmKernel, TraversalKernel
 from repro.ir.intra_op.plan import KernelPlan
 from repro.runtime.memory import MemoryModel
+
+
+def dim_bucket(count: int) -> int:
+    """Power-of-two bucket of a runtime dimension (node/edge/pair count).
+
+    Arena slabs sized for the bucket fit every graph binding whose dimension
+    falls at or below it, so differently-sized sampled blocks share pooled
+    arenas (and, upstream, replay the same compiled plan — exact counts never
+    enter the compilation-cache key; see :mod:`repro.frontend.cache`).
+    """
+    count = int(count)
+    if count <= 0:
+        return 0
+    return 1 << (count - 1).bit_length()
 
 
 @dataclass
@@ -284,20 +308,44 @@ class MemoryPlanner:
     # ------------------------------------------------------------------
     # runtime arena
     # ------------------------------------------------------------------
-    def build_arena(self, ctx, dtype=np.float64, training: Optional[bool] = None) -> "BufferArena":
+    def build_arena(
+        self,
+        ctx,
+        dtype=np.float64,
+        training: Optional[bool] = None,
+        capacity_sizes=None,
+    ) -> "BufferArena":
         """Materialise the arena for one concrete graph context.
 
         Only buffers the Python backend writes in place are bound (see
         :meth:`inplace_written_names`); binding views for elementwise results
         that get rebound anyway would claim savings that never materialise.
+
+        Args:
+            ctx: the graph context the arena's initial views are shaped for.
+            dtype: element dtype of the slabs.
+            training: see :meth:`lifetimes`.
+            capacity_sizes: optional sizes object the slot *capacities* are
+                computed from (the :class:`ArenaPool` passes the power-of-two
+                bucket of ``ctx``); defaults to ``ctx``'s exact sizes.  Must
+                dominate the concrete sizes dimension for dimension.
         """
         sizes = _ContextSizes.from_context(ctx)
-        memory_plan = self.plan_memory(sizes, training=training, only=self.inplace_written_names())
-        shapes: Dict[str, Tuple[int, ...]] = {}
-        for interval in memory_plan.lifetimes:
-            info = self.plan.buffers[interval.name]
-            shapes[interval.name] = (int(info.rows(sizes)),) + tuple(int(d) for d in info.feature_shape)
+        memory_plan = self.plan_memory(
+            capacity_sizes if capacity_sizes is not None else sizes,
+            training=training,
+            only=self.inplace_written_names(),
+        )
+        shapes = self.shapes_for(sizes, memory_plan.slot_of)
         return BufferArena(memory_plan, shapes, dtype=dtype)
+
+    def shapes_for(self, sizes, names: Iterable[str]) -> Dict[str, Tuple[int, ...]]:
+        """Concrete per-buffer array shapes under ``sizes`` for ``names``."""
+        shapes: Dict[str, Tuple[int, ...]] = {}
+        for name in names:
+            info = self.plan.buffers[name]
+            shapes[name] = (int(info.rows(sizes)),) + tuple(int(d) for d in info.feature_shape)
+        return shapes
 
 
 @dataclass
@@ -320,6 +368,24 @@ class _ContextSizes:
             num_node_types=int(ctx.num_ntypes),
         )
 
+    def bucketed(self) -> "_ContextSizes":
+        """Round the runtime dimensions up to their power-of-two buckets.
+
+        Type-vocabulary sizes stay exact — they are fixed by the schema the
+        plan is specialised for, so bucketing them would only waste slabs.
+        """
+        return replace(
+            self,
+            num_nodes=dim_bucket(self.num_nodes),
+            num_edges=dim_bucket(self.num_edges),
+            num_unique_pairs=dim_bucket(self.num_unique_pairs),
+        )
+
+    def bucket_key(self) -> Tuple[int, int, int]:
+        """Hashable pool key of the bucketed runtime dimensions."""
+        bucketed = self.bucketed()
+        return (bucketed.num_nodes, bucketed.num_edges, bucketed.num_unique_pairs)
+
 
 class BufferArena:
     """Preallocated slot-backed buffers reused across executor invocations.
@@ -338,11 +404,38 @@ class BufferArena:
             np.zeros(int(capacity), dtype=self.dtype) for capacity in memory_plan.slot_elements
         ]
         self._views: Dict[str, np.ndarray] = {}
-        for name, slot in memory_plan.slot_of.items():
+        self._current_shapes: Dict[str, Tuple[int, ...]] = {}
+        self.bind_count = 0
+        self.ensure_shapes(shapes)
+
+    # ------------------------------------------------------------------
+    def lease(self) -> "ArenaLease":
+        """A lease on this arena at its current shapes (private-arena case)."""
+        return ArenaLease(self, self._current_shapes)
+
+    def ensure_shapes(self, shapes: Dict[str, Tuple[int, ...]]) -> None:
+        """Re-view the slabs for a (possibly different) concrete graph binding.
+
+        Slabs are never reallocated — pooled arenas are sized for the bucket
+        ceiling, and the pool keys leases by bucket, so every binding routed
+        here fits by construction.  A shape exceeding a slab's capacity
+        raises ``ValueError``: it means a caller bypassed the bucket-key
+        invariant, not a recoverable condition.
+        """
+        if shapes == self._current_shapes:
+            return
+        views: Dict[str, np.ndarray] = {}
+        for name, slot in self.memory_plan.slot_of.items():
             shape = shapes[name]
             elements = int(np.prod(shape, dtype=np.int64)) if shape else 1
-            self._views[name] = self._slabs[slot][:elements].reshape(shape)
-        self.bind_count = 0
+            if elements > self._slabs[slot].size:
+                raise ValueError(
+                    f"buffer {name!r} needs {elements} elements but arena slot {slot} "
+                    f"holds {self._slabs[slot].size}; this binding belongs to a larger bucket"
+                )
+            views[name] = self._slabs[slot][:elements].reshape(shape)
+        self._views = views
+        self._current_shapes = dict(shapes)
 
     # ------------------------------------------------------------------
     def bind(self, env: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
@@ -377,3 +470,109 @@ class BufferArena:
     def bytes_saved(self) -> int:
         """Cumulative allocation traffic avoided across all binds so far."""
         return max(0, self.bind_count - 1) * self.naive_bytes_per_invocation()
+
+
+class ArenaLease:
+    """One graph binding's handle on a (possibly shared, pooled) arena.
+
+    Several bindings in the same size bucket share one :class:`BufferArena`'s
+    slabs; each binding holds a lease carrying its *own* concrete shapes.  The
+    lease re-views the slabs for those shapes immediately before installing
+    them into an executor environment, so sequentially executed bindings can
+    alternate over one arena safely.  (Interleaving a *different* binding's
+    forward between one binding's forward and backward on a shared arena
+    would corrupt the forward intermediates backward re-reads;
+    ``GraphBinding.backward`` detects this via the arena's bind generation
+    and raises.  The serving engine executes batches to completion, so this
+    never arises there.)
+    """
+
+    def __init__(self, arena: "BufferArena", shapes: Dict[str, Tuple[int, ...]]):
+        self.arena = arena
+        self.shapes = dict(shapes)
+
+    def bind(self, env: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Install this binding's arena views into an executor environment."""
+        self.arena.ensure_shapes(self.shapes)
+        return self.arena.bind(env)
+
+
+@dataclass
+class ArenaPoolStats:
+    """Reuse counters of one :class:`ArenaPool`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ArenaPool:
+    """Bucketed, LRU-bounded arenas shared across a module's graph bindings.
+
+    Bindings whose runtime dimensions fall in the same power-of-two bucket
+    (:func:`dim_bucket` over nodes / edges / unique pairs) lease one pooled
+    arena instead of allocating a fresh one, which is the allocation analogue
+    of the compilation cache: a stream of differently-sized sampled blocks
+    settles onto a handful of arenas after warmup.  At most ``max_arenas``
+    stay live; the least-recently-used bucket is dropped beyond that.
+
+    Pools are per-module (created in ``CompiledRGNNModule``), never shared
+    between modules — two modules sharing a cached plan must not share
+    buffers.
+    """
+
+    def __init__(self, max_arenas: int = 4):
+        if max_arenas < 1:
+            raise ValueError("an arena pool needs room for at least one arena")
+        self.max_arenas = max_arenas
+        self._arenas: "OrderedDict[tuple, BufferArena]" = OrderedDict()
+        self.stats = ArenaPoolStats()
+
+    def lease(
+        self,
+        planner: MemoryPlanner,
+        ctx,
+        dtype=np.float64,
+        training: Optional[bool] = None,
+    ) -> ArenaLease:
+        """Lease the pooled arena of ``ctx``'s size bucket, building it on a miss."""
+        sizes = _ContextSizes.from_context(ctx)
+        key = (sizes.bucket_key(), np.dtype(dtype).str, bool(
+            training if training is not None else planner.plan.backward_kernels
+        ))
+        arena = self._arenas.get(key)
+        if arena is not None:
+            self.stats.hits += 1
+            self._arenas.move_to_end(key)
+        else:
+            self.stats.misses += 1
+            arena = planner.build_arena(
+                ctx, dtype=dtype, training=training, capacity_sizes=sizes.bucketed()
+            )
+            self._arenas[key] = arena
+            while len(self._arenas) > self.max_arenas:
+                self._arenas.popitem(last=False)
+                self.stats.evictions += 1
+        shapes = planner.shapes_for(sizes, arena.memory_plan.slot_of)
+        return ArenaLease(arena, shapes)
+
+    # ------------------------------------------------------------------
+    @property
+    def live_arenas(self) -> int:
+        return len(self._arenas)
+
+    def pooled_bytes(self) -> int:
+        """Bytes held by every live arena's slabs."""
+        return int(sum(arena.arena_bytes() for arena in self._arenas.values()))
+
+    def clear(self) -> None:
+        self._arenas.clear()
+        self.stats = ArenaPoolStats()

@@ -1,0 +1,27 @@
+"""Batched serving over sampled minibatch blocks.
+
+The subsystem the compile→bind→execute split enables: one schema-specialised
+compiled module serves per-request seed-node queries by micro-batching
+requests, sampling blocks, binding against pooled arenas, executing the
+generated kernels once per batch, and scattering per-request outputs back —
+with throughput / latency / occupancy / reuse telemetry throughout.
+
+Quickstart::
+
+    from repro.serving import ServingEngine
+
+    engine = ServingEngine("rgat", graph, in_dim=64, out_dim=64)
+    outputs = engine.query([3, 17, 42])     # (3, 64) rows, one per seed
+    print(engine.report())
+"""
+
+from repro.serving.engine import ServingEngine, ServingRequest
+from repro.serving.stats import BatchRecord, EngineStats, percentile
+
+__all__ = [
+    "ServingEngine",
+    "ServingRequest",
+    "BatchRecord",
+    "EngineStats",
+    "percentile",
+]

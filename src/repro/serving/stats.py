@@ -1,0 +1,111 @@
+"""Serving telemetry: per-batch records and engine-level summaries.
+
+The ROADMAP's serving goal is characterised the way HPC platform studies
+characterise hardware: not one number, but throughput, latency percentiles,
+batch occupancy, and reuse rates (plan replays, arena-pool hits) reported
+together so regressions in any one dimension are visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class BatchRecord:
+    """Telemetry of one executed micro-batch."""
+
+    num_requests: int
+    num_seeds: int
+    block_nodes: int
+    block_edges: int
+    sample_seconds: float
+    execute_seconds: float
+    plan_replayed: Optional[bool] = None
+
+    @property
+    def total_seconds(self) -> float:
+        return self.sample_seconds + self.execute_seconds
+
+
+def percentile(values: List[float], q: float) -> float:
+    """The q-th percentile (0..100) of a list; 0.0 when empty."""
+    if not values:
+        return 0.0
+    return float(np.percentile(values, q))
+
+
+@dataclass
+class EngineStats:
+    """Accumulated serving telemetry of one engine."""
+
+    batches: List[BatchRecord] = field(default_factory=list)
+    request_latencies: List[float] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def record_batch(self, record: BatchRecord) -> None:
+        self.batches.append(record)
+
+    def record_latency(self, seconds: float) -> None:
+        self.request_latencies.append(seconds)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_batches(self) -> int:
+        return len(self.batches)
+
+    @property
+    def num_requests(self) -> int:
+        return sum(record.num_requests for record in self.batches)
+
+    @property
+    def num_seeds(self) -> int:
+        return sum(record.num_seeds for record in self.batches)
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall time spent sampling + executing across all batches."""
+        return sum(record.total_seconds for record in self.batches)
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Mean requests per batch (the micro-batching win lives here)."""
+        return self.num_requests / self.num_batches if self.num_batches else 0.0
+
+    @property
+    def requests_per_second(self) -> float:
+        total = self.total_seconds
+        return self.num_requests / total if total > 0 else 0.0
+
+    @property
+    def seeds_per_second(self) -> float:
+        total = self.total_seconds
+        return self.num_seeds / total if total > 0 else 0.0
+
+    @property
+    def plan_replay_rate(self) -> Optional[float]:
+        """Fraction of batches that replayed the cached plan (None if untracked)."""
+        tracked = [record.plan_replayed for record in self.batches if record.plan_replayed is not None]
+        if not tracked:
+            return None
+        return sum(tracked) / len(tracked)
+
+    def latency_percentile(self, q: float) -> float:
+        return percentile(self.request_latencies, q)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        """One flat dict for reports and the benchmark tables."""
+        return {
+            "requests": self.num_requests,
+            "batches": self.num_batches,
+            "mean_occupancy": round(self.mean_occupancy, 2),
+            "throughput_rps": round(self.requests_per_second, 1),
+            "seeds_per_s": round(self.seeds_per_second, 1),
+            "latency_p50_ms": round(self.latency_percentile(50) * 1e3, 3),
+            "latency_p95_ms": round(self.latency_percentile(95) * 1e3, 3),
+            "plan_replay_rate": self.plan_replay_rate,
+        }

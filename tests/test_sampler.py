@@ -1,0 +1,185 @@
+"""Sampler correctness: schema preservation, fanout caps, seed addressing,
+and block-vs-full-graph execution equivalence.
+
+The hypothesis properties pin the structural contract of
+:mod:`repro.graph.sampler`; the execution tests pin the semantic one — with
+unbounded fanout, a one-hop block's outputs at the seed nodes must equal the
+eager full-graph reference restricted to those seeds, for every model.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import CompilerOptions, compile_model
+from repro.graph import NeighborSampler, random_hetero_graph, sample_block
+from repro.models import MODEL_NAMES, REFERENCE_CLASSES
+
+DIM = 8
+
+
+@st.composite
+def graph_and_seeds(draw):
+    """A random parent graph plus a non-empty seed set drawn from it."""
+    num_node_types = draw(st.integers(2, 3))
+    num_edge_types = draw(st.integers(2, 6))
+    num_nodes = draw(st.integers(num_node_types * 4, 60))
+    num_edges = draw(st.integers(num_edge_types, 180))
+    graph_seed = draw(st.integers(0, 1000))
+    graph = random_hetero_graph(
+        num_nodes=num_nodes,
+        num_edges=num_edges,
+        num_node_types=num_node_types,
+        num_edge_types=num_edge_types,
+        seed=graph_seed,
+        name="prop",
+    )
+    seeds = draw(
+        st.lists(st.integers(0, graph.num_nodes - 1), min_size=1, max_size=8, unique=True)
+    )
+    return graph, np.array(seeds, dtype=np.int64)
+
+
+class TestBlockStructure:
+    @settings(max_examples=40, deadline=None)
+    @given(data=graph_and_seeds(), fanout=st.one_of(st.none(), st.integers(1, 4)),
+           rng_seed=st.integers(0, 100))
+    def test_schema_fanout_and_seed_addressing(self, data, fanout, rng_seed):
+        graph, seeds = data
+        block = sample_block(graph, seeds, fanouts=(fanout,), seed=rng_seed)
+
+        # Schema preserved, ordered: type ids keep indexing the same weights.
+        assert block.graph.node_type_names == graph.node_type_names
+        assert block.graph.canonical_etypes == graph.canonical_etypes
+
+        # Fanout caps: per-relation in-degree within the block never exceeds
+        # the cap (the memoised per-(relation, dst) draw guarantees this even
+        # when the frontier revisits a node).
+        if fanout is not None:
+            for etype, (_, dst_local) in block.graph.edges_per_relation.items():
+                if len(dst_local):
+                    assert np.bincount(dst_local).max() <= fanout, etype
+
+        # Seeds stay addressable through the scatter map.
+        np.testing.assert_array_equal(block.node_map[block.seed_positions], seeds)
+        assert block.num_nodes >= len(np.unique(seeds))
+
+        # Every block edge exists in the parent (per relation, as a multiset).
+        for etype, (src_b, dst_b) in block.graph.edges_per_relation.items():
+            if not len(src_b):
+                continue
+            src_p, dst_p = graph.edges_per_relation[etype]
+            parent_pairs = {(int(s), int(d)) for s, d in zip(src_p, dst_p)}
+            src_type, _, dst_type = etype
+            src_off = block.graph.node_type_offset(src_type)
+            dst_off = block.graph.node_type_offset(dst_type)
+            for s, d in zip(src_b, dst_b):
+                parent_s = int(block.node_map[src_off + s]) - graph.node_type_offset(src_type)
+                parent_d = int(block.node_map[dst_off + d]) - graph.node_type_offset(dst_type)
+                assert (parent_s, parent_d) in parent_pairs, etype
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=graph_and_seeds(), rng_seed=st.integers(0, 100))
+    def test_full_fanout_keeps_every_seed_in_edge(self, data, rng_seed):
+        """fanout=None one-hop blocks contain every incoming edge of a seed."""
+        graph, seeds = data
+        block = sample_block(graph, seeds, fanouts=(None,), seed=rng_seed)
+        seed_set = set(seeds.tolist())
+        expected = int(np.isin(graph.edge_dst, list(seed_set)).sum())
+        assert block.num_edges == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=graph_and_seeds(), fanout=st.integers(1, 3))
+    def test_sampling_is_deterministic_per_sampler_seed(self, data, fanout):
+        graph, seeds = data
+        first = sample_block(graph, seeds, fanouts=(fanout,), seed=9)
+        second = sample_block(graph, seeds, fanouts=(fanout,), seed=9)
+        np.testing.assert_array_equal(first.node_map, second.node_map)
+        assert first.num_edges == second.num_edges
+        for etype in graph.canonical_etypes:
+            for a, b in zip(first.graph.edges_per_relation[etype],
+                            second.graph.edges_per_relation[etype]):
+                np.testing.assert_array_equal(a, b)
+
+    def test_multi_hop_reaches_two_hop_neighbors(self):
+        # A chain a0 -> a1 -> a2 (by "to"): seeds {2} need two hops to pull a0.
+        from repro.graph import HeteroGraph
+
+        chain = HeteroGraph(
+            {"a": 3},
+            {("a", "to", "a"): (np.array([0, 1]), np.array([1, 2]))},
+            name="chain",
+        )
+        one_hop = sample_block(chain, [2], fanouts=(None,))
+        two_hop = sample_block(chain, [2], fanouts=(None, None))
+        assert one_hop.num_nodes == 2 and one_hop.num_edges == 1
+        assert two_hop.num_nodes == 3 and two_hop.num_edges == 2
+
+    def test_rejects_bad_seeds_and_fanouts(self, small_graph):
+        with pytest.raises(ValueError):
+            sample_block(small_graph, [])
+        with pytest.raises(ValueError):
+            sample_block(small_graph, [small_graph.num_nodes])
+        with pytest.raises(ValueError):
+            sample_block(small_graph, [-1])
+        with pytest.raises(ValueError):
+            NeighborSampler(small_graph, fanouts=())
+        with pytest.raises(ValueError):
+            NeighborSampler(small_graph, fanouts=(0,))
+
+    def test_gather_and_scatter_shapes_are_validated(self, small_graph, rng):
+        block = sample_block(small_graph, [0, 5, 9])
+        with pytest.raises(ValueError):
+            block.gather_features(np.zeros((small_graph.num_nodes - 1, 4)))
+        with pytest.raises(ValueError):
+            block.seed_outputs(np.zeros((block.num_nodes + 1, 4)))
+
+
+class TestBlockExecution:
+    """Compiled execution on blocks vs the eager full-graph reference."""
+
+    @pytest.mark.parametrize("model", MODEL_NAMES)
+    @pytest.mark.parametrize("config_label", ["U", "C+R"])
+    def test_full_fanout_block_matches_reference_at_seeds(self, model, config_label,
+                                                          small_graph, rng):
+        from repro.frontend.config import CONFIGURATIONS
+
+        options = CONFIGURATIONS[config_label].with_(emit_backward=False)
+        module = compile_model(model, small_graph, in_dim=DIM, out_dim=DIM,
+                               options=options, seed=3)
+        reference = REFERENCE_CLASSES[model](small_graph, DIM, DIM, seed=3)
+        reference.load_parameters({k: p.data for k, p in module.parameters_by_name.items()})
+        features = rng.standard_normal((small_graph.num_nodes, DIM))
+        full = reference.forward(features)
+        key = next(iter(full))
+
+        seeds = np.array([1, 7, 19, 33, 50])
+        block = sample_block(small_graph, seeds, fanouts=(None,), seed=2)
+        binding = module.bind(block.graph)
+        block_out = binding.forward(block.gather_features(features))[key]
+        np.testing.assert_allclose(
+            block.seed_outputs(block_out), full[key].data[seeds], atol=1e-8
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(data=graph_and_seeds(), rng_seed=st.integers(0, 50))
+    def test_rgcn_block_execution_property(self, data, rng_seed):
+        """The execution-equivalence property under random graphs and seeds."""
+        graph, seeds = data
+        module = compile_model(
+            "rgcn", graph, in_dim=DIM, out_dim=DIM,
+            options=CompilerOptions(emit_backward=False), seed=1,
+        )
+        reference = REFERENCE_CLASSES["rgcn"](graph, DIM, DIM, seed=1)
+        reference.load_parameters({k: p.data for k, p in module.parameters_by_name.items()})
+        features = np.random.default_rng(rng_seed).standard_normal((graph.num_nodes, DIM))
+        full = reference.forward(features)
+        key = next(iter(full))
+
+        block = sample_block(graph, seeds, fanouts=(None,), seed=rng_seed)
+        binding = module.bind(block.graph)
+        block_out = binding.forward(block.gather_features(features))[key]
+        np.testing.assert_allclose(
+            block.seed_outputs(block_out), full[key].data[seeds], atol=1e-8
+        )

@@ -1,0 +1,204 @@
+"""ServingEngine behaviour: correctness of scattered outputs, micro-batch
+policy (size cap + timeout), plan replay accounting, and telemetry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.frontend import CompilerOptions, compile_model
+from repro.graph import random_hetero_graph
+from repro.models import REFERENCE_CLASSES
+from repro.serving import EngineStats, ServingEngine, percentile
+from repro.serving.stats import BatchRecord
+
+DIM = 8
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_hetero_graph(
+        num_nodes=180, num_edges=900, num_node_types=3, num_edge_types=6,
+        seed=31, name="servegraph",
+    )
+
+
+@pytest.fixture(scope="module")
+def features(graph):
+    return np.random.default_rng(2).standard_normal((graph.num_nodes, DIM))
+
+
+def _engine(graph, features, **overrides):
+    params = dict(
+        in_dim=DIM, out_dim=DIM, features=features, fanouts=(None,),
+        max_batch_size=4, seed=6, sampler_seed=1,
+    )
+    params.update(overrides)
+    return ServingEngine("rgcn", graph, **params)
+
+
+class TestQueryCorrectness:
+    def test_query_matches_full_graph_reference_at_seeds(self, graph, features):
+        engine = _engine(graph, features)
+        reference = REFERENCE_CLASSES["rgcn"](graph, DIM, DIM, seed=6)
+        reference.load_parameters(
+            {k: p.data for k, p in engine.module.parameters_by_name.items()}
+        )
+        full = reference.forward(features)
+        key = next(iter(full))
+        seeds = np.array([3, 44, 91, 120])
+        result = engine.query(seeds)
+        assert result.shape == (len(seeds), DIM)
+        np.testing.assert_allclose(result, full[key].data[seeds], atol=1e-8)
+
+    def test_batched_requests_scatter_back_per_request(self, graph, features):
+        engine = _engine(graph, features, max_batch_size=8)
+        singles = {tuple(seeds): _engine(graph, features).query(np.array(seeds))
+                   for seeds in [(1, 2), (50, 61, 72), (2, 100)]}
+        requests = [engine.submit(np.array(seeds)) for seeds in singles]
+        engine.flush()
+        for request, expected in zip(requests, singles.values()):
+            assert request.done
+            np.testing.assert_allclose(request.result, expected, atol=1e-10)
+
+    def test_duplicate_seeds_within_and_across_requests(self, graph, features):
+        engine = _engine(graph, features, max_batch_size=8)
+        request_a = engine.submit(np.array([7, 7, 23]))
+        request_b = engine.submit(np.array([23, 7]))
+        engine.flush()
+        np.testing.assert_allclose(request_a.result[0], request_a.result[1])
+        np.testing.assert_allclose(request_a.result[0], request_b.result[1])
+        np.testing.assert_allclose(request_a.result[2], request_b.result[0])
+        # One batch, deduplicated union of seeds.
+        assert engine.stats.batches[-1].num_requests == 2
+        assert engine.stats.batches[-1].num_seeds == 5
+
+    def test_precompiled_module_can_be_adopted(self, graph, features):
+        module = compile_model("rgat", graph, in_dim=DIM, out_dim=DIM,
+                               options=CompilerOptions(emit_backward=False), seed=2)
+        engine = ServingEngine(module, graph, features=features, max_batch_size=4)
+        out = engine.query([10, 20])
+        np.testing.assert_allclose(out, module.forward(features)["out"][[10, 20]], atol=1e-8)
+        # Adopted modules have no program handle: replay tracking is off.
+        assert engine.stats.plan_replay_rate is None
+
+    def test_default_feature_store_makes_quickstart_run(self, graph):
+        engine = ServingEngine("rgcn", graph, in_dim=DIM, out_dim=DIM)
+        assert engine.query([0, 1]).shape == (2, DIM)
+
+
+class TestBatchingPolicy:
+    def test_flush_respects_max_batch_size(self, graph, features):
+        engine = _engine(graph, features, max_batch_size=3)
+        for index in range(7):
+            engine.submit([index, index + 20])
+        completed = engine.flush()
+        assert len(completed) == 7 and all(r.done for r in completed)
+        assert [record.num_requests for record in engine.stats.batches] == [3, 3, 1]
+
+    def test_serve_burst_fills_batches(self, graph, features):
+        engine = _engine(graph, features, max_batch_size=4)
+        stream = [np.array([i, i + 30]) for i in range(8)]
+        report = engine.serve(stream)
+        assert report["batches"] == 2
+        assert report["mean_occupancy"] == 4.0
+        assert report["plan_replay_rate"] == 1.0
+        assert len(engine.stats.request_latencies) == 8
+
+    def test_serve_timeout_splits_sparse_arrivals(self, graph, features):
+        engine = _engine(graph, features, max_batch_size=8, batch_timeout_s=0.001)
+        stream = [np.array([i]) for i in range(4)]
+        arrivals = [0.0, 0.5, 1.0, 1.5]  # far apart vs the 1ms timeout
+        report = engine.serve(stream, arrivals)
+        assert report["batches"] == 4
+        assert report["mean_occupancy"] == 1.0
+
+    def test_serve_requires_matching_arrival_times(self, graph, features):
+        engine = _engine(graph, features)
+        with pytest.raises(ValueError):
+            engine.serve([np.array([0])], arrival_times=[0.0, 1.0])
+
+    def test_rejects_invalid_requests_and_config(self, graph, features):
+        engine = _engine(graph, features)
+        with pytest.raises(ValueError):
+            engine.submit([])
+        with pytest.raises(ValueError):
+            engine.submit([graph.num_nodes])
+        with pytest.raises(ValueError):
+            _engine(graph, features, max_batch_size=0)
+        with pytest.raises(ValueError):
+            _engine(graph, features, batch_timeout_s=-1.0)
+        with pytest.raises(ValueError):
+            _engine(graph, np.zeros((graph.num_nodes - 1, DIM)))
+        with pytest.raises(ValueError):
+            _engine(graph, np.zeros((graph.num_nodes, DIM + 2)))
+
+
+class TestTelemetry:
+    def test_report_fields(self, graph, features):
+        engine = _engine(graph, features, max_batch_size=4)
+        engine.serve([np.array([i, i + 9]) for i in range(6)])
+        report = engine.report()
+        for field in [
+            "requests", "batches", "mean_occupancy", "throughput_rps",
+            "seeds_per_s", "latency_p50_ms", "latency_p95_ms",
+            "plan_replay_rate", "max_batch_size", "arena_pool_hit_rate",
+            "live_arenas", "plan_replays", "plan_recompiles",
+        ]:
+            assert field in report, field
+        assert report["requests"] == 6
+        assert report["throughput_rps"] > 0
+        assert report["latency_p95_ms"] >= report["latency_p50_ms"]
+        assert report["plan_replays"] == report["batches"]
+        assert report["plan_recompiles"] == 0
+
+    def test_reset_stats_clears_telemetry_but_keeps_warm_arenas(self, graph, features):
+        engine = _engine(graph, features, max_batch_size=4)
+        engine.query([1, 2, 3])
+        assert engine.stats.num_batches == 1 and engine.plan_replays == 1
+        pool_lookups = engine.module.arena_pool.stats.lookups
+        engine.reset_stats()
+        assert engine.stats.num_batches == 0
+        assert engine.plan_replays == 0 and engine.plan_recompiles == 0
+        assert engine.module.arena_pool.stats.lookups == pool_lookups
+
+    def test_serve_flushes_previously_submitted_requests_first(self, graph, features):
+        engine = _engine(graph, features, max_batch_size=4)
+        early = engine.submit([5, 6])
+        engine.serve([np.array([i]) for i in range(3)])
+        assert early.done and early.result.shape == (2, DIM)
+
+    def test_flush_path_records_service_latency(self, graph, features):
+        engine = _engine(graph, features)
+        request = engine.submit([3, 4])
+        engine.flush()
+        assert request.latency_s is not None and request.latency_s > 0
+        assert engine.report()["latency_p50_ms"] > 0
+
+    def test_cache_disabled_engine_skips_per_batch_replay_checks(self, graph, features):
+        from repro.frontend import CompilerOptions
+
+        engine = _engine(
+            graph, features,
+            options=CompilerOptions(emit_backward=False, enable_compilation_cache=False),
+        )
+        engine.query([1, 2])
+        engine.query([3, 4])
+        # No per-batch recompiles, and replay tracking is off rather than
+        # reporting misleading misses.
+        assert engine.plan_recompiles == 0 and engine.plan_replays == 0
+        assert engine.stats.plan_replay_rate is None
+
+    def test_percentile_and_empty_stats(self):
+        assert percentile([], 95) == 0.0
+        assert percentile([1.0], 50) == 1.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+        stats = EngineStats()
+        assert stats.mean_occupancy == 0.0
+        assert stats.requests_per_second == 0.0
+        assert stats.plan_replay_rate is None
+        stats.record_batch(BatchRecord(
+            num_requests=2, num_seeds=3, block_nodes=5, block_edges=4,
+            sample_seconds=0.5, execute_seconds=0.5, plan_replayed=True,
+        ))
+        assert stats.requests_per_second == pytest.approx(2.0)
+        assert stats.plan_replay_rate == 1.0
