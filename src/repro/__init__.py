@@ -8,7 +8,9 @@ Public entry points:
   graphs sharing the schema (``module.bind(graph)``).
 * :mod:`repro.graph` — heterogeneous graph substrate, the Table 3 datasets,
   and the minibatch block sampler (:mod:`repro.graph.sampler`).
-* :mod:`repro.serving` — the batched serving engine over sampled blocks.
+* :class:`repro.Router` (from :mod:`repro.serving`) — multi-tenant serving:
+  named endpoints, async admission, event-loop scheduling with weighted
+  round-robin fairness, and a shared cross-tenant arena budget.
 * :mod:`repro.tensor` — the numpy autograd tensor substrate.
 * :mod:`repro.ir` — the two-level IR, passes, templates, and code generator.
 * :mod:`repro.gpu` — the analytical GPU cost model (RTX 3090 stand-in).
@@ -17,13 +19,16 @@ Public entry points:
 """
 
 from repro.frontend import CompilerOptions, compile_model, compile_program, hector_compile
+from repro.serving import Router, ServingEngine
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CompilerOptions",
     "compile_model",
     "compile_program",
     "hector_compile",
+    "Router",
+    "ServingEngine",
     "__version__",
 ]

@@ -13,6 +13,9 @@ from repro.runtime.planner import (
     BufferLifetime,
     MemoryPlan,
     MemoryPlanner,
+    SharedArenaBudget,
+    TenantArenaSource,
+    TenantArenaStats,
     dim_bucket,
 )
 
@@ -30,5 +33,8 @@ __all__ = [
     "BufferLifetime",
     "MemoryPlan",
     "MemoryPlanner",
+    "SharedArenaBudget",
+    "TenantArenaSource",
+    "TenantArenaStats",
     "dim_bucket",
 ]

@@ -40,6 +40,9 @@ class GraphBinding:
         ctx: the graph's preprocessed index arrays.
         arena_lease: lease on a pooled buffer arena, or ``None`` when memory
             planning is disabled for the plan.
+        label: optional owner tag (e.g. ``"endpoint 'rgat-medium'"``) prefixed
+            to validation errors, so in a multi-tenant process a bad input
+            names the tenant it belongs to, not just the (shared) graph.
     """
 
     def __init__(
@@ -48,14 +51,21 @@ class GraphBinding:
         graph: HeteroGraph,
         ctx: GraphContext,
         arena_lease: Optional[ArenaLease] = None,
+        label: Optional[str] = None,
     ):
         self.module = module
         self.graph = graph
         self.ctx = ctx
         self.arena_lease = arena_lease
+        self.label = label
         self.executor = PlanExecutor(module.plan, module.generated, arena=arena_lease)
         self._last_env: Optional[Dict[str, np.ndarray]] = None
         self._forward_generation: Optional[int] = None
+
+    def _describe(self) -> str:
+        """``graph 'name'`` or ``endpoint ...: graph 'name'`` for errors."""
+        base = f"graph {self.graph.name!r}"
+        return f"{self.label}: {base}" if self.label else base
 
     # ------------------------------------------------------------------
     @property
@@ -84,32 +94,31 @@ class GraphBinding:
         expected shape instead.
         """
         array = np.asarray(node_features)
+        where = self._describe()
         if array.dtype == object or not np.issubdtype(array.dtype, np.number):
             raise TypeError(
-                f"node_features must be numeric, got dtype {array.dtype} "
-                f"(graph {self.graph.name!r})"
+                f"node_features must be numeric, got dtype {array.dtype} ({where})"
             )
         if np.issubdtype(array.dtype, np.complexfloating):
             raise TypeError(
-                f"node_features must be real-valued, got dtype {array.dtype} "
-                f"(graph {self.graph.name!r})"
+                f"node_features must be real-valued, got dtype {array.dtype} ({where})"
             )
         expected_dim = self.module.input_feature_dim
         if array.ndim != 2:
             raise ValueError(
                 f"node_features must be 2-D (num_nodes, in_dim), got shape {array.shape}; "
-                f"graph {self.graph.name!r} expects "
+                f"{where} expects "
                 f"({self.graph.num_nodes}, {expected_dim if expected_dim is not None else 'in_dim'})"
             )
         if array.shape[0] != self.graph.num_nodes:
             raise ValueError(
-                f"expected {self.graph.num_nodes} feature rows for graph "
-                f"{self.graph.name!r}, got {array.shape[0]}"
+                f"expected {self.graph.num_nodes} feature rows for {where}, "
+                f"got {array.shape[0]}"
             )
         if expected_dim is not None and array.shape[1] != expected_dim:
             raise ValueError(
                 f"expected feature dimension {expected_dim} (the compiled plan's "
-                f"node-feature input), got {array.shape[1]} for graph {self.graph.name!r}"
+                f"node-feature input), got {array.shape[1]} for {where}"
             )
         return np.asarray(array, dtype=np.float64)
 

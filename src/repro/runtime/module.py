@@ -95,27 +95,41 @@ class CompiledRGNNModule:
     # ------------------------------------------------------------------
     # binding
     # ------------------------------------------------------------------
-    def bind(self, graph: HeteroGraph, *, pooled: bool = True) -> GraphBinding:
+    def bind(
+        self,
+        graph: HeteroGraph,
+        *,
+        pooled: bool = True,
+        arena_source=None,
+        label: Optional[str] = None,
+    ) -> GraphBinding:
         """Attach the module to a concrete graph (full graph or sampled block).
 
         Validates the graph against the module's schema, reuses the memoised
-        graph context, and leases an arena.  ``pooled=True`` (the default for
-        explicit rebinds — the serving pattern) leases from the module's
-        bucketed LRU pool, so same-bucket bindings share slabs;
+        graph context, and leases an arena.  ``arena_source`` (anything with
+        an ``ArenaPool``-shaped ``lease(planner, ctx)`` — in practice a
+        :class:`~repro.runtime.planner.TenantArenaSource` view of a serving
+        router's :class:`~repro.runtime.planner.SharedArenaBudget`) overrides
+        where the arena comes from; otherwise ``pooled=True`` (the default
+        for explicit rebinds — the serving pattern) leases from the module's
+        bucketed LRU pool, so same-bucket bindings share slabs, and
         ``pooled=False`` builds a private arena sized exactly for ``graph``
         (the default binding uses this: a module bound once to one full graph
         should not pay the power-of-two bucket ceiling).  The returned
-        binding shares this module's parameters either way.
+        binding shares this module's parameters in every case.  ``label``
+        names the binding's owner (e.g. a serving endpoint) in error messages.
         """
         self.schema.validate_graph(graph)
         ctx = GraphContext.cached(graph)
         lease = None
         if self.memory_planner is not None:
-            if pooled and self.arena_pool is not None:
+            if arena_source is not None:
+                lease = arena_source.lease(self.memory_planner, ctx)
+            elif pooled and self.arena_pool is not None:
                 lease = self.arena_pool.lease(self.memory_planner, ctx)
             else:
                 lease = self.memory_planner.build_arena(ctx).lease()
-        return GraphBinding(self, graph, ctx, arena_lease=lease)
+        return GraphBinding(self, graph, ctx, arena_lease=lease, label=label)
 
     @property
     def default_binding(self) -> Optional[GraphBinding]:

@@ -30,6 +30,15 @@ that gap in two steps:
    the binding's concrete shapes.  Live arenas are LRU-bounded so a long tail
    of rare block sizes cannot accumulate slabs without bound.
 
+4. :class:`SharedArenaBudget` multiplexes arenas across *tenants* (serving
+   endpoints hosting different compiled modules and parent graphs) under one
+   global byte cap.  Arenas are keyed per (tenant, bucket) — two tenants never
+   share slabs, their plans differ — but they all draw from one budget:
+   exceeding the cap evicts the least-recently-*used* arena across all
+   tenants, with per-tenant hit/miss/eviction counters and high-water byte
+   stats so a noisy neighbour is visible in telemetry.  This is the memory
+   backbone of the multi-tenant serving router (:mod:`repro.serving.router`).
+
 The planner also runs in a purely analytic mode against a
 :class:`~repro.evaluation.workload.WorkloadSpec` (no arrays allocated), which
 is how the Figure 10 memory study reports the footprint the arena schedule
@@ -47,6 +56,10 @@ import numpy as np
 from repro.ir.intra_op.kernels import GemmKernel, TraversalKernel
 from repro.ir.intra_op.plan import KernelPlan
 from repro.runtime.memory import MemoryModel
+
+
+#: Retention bound of :attr:`SharedArenaBudget.eviction_log` entries.
+EVICTION_LOG_LIMIT = 1024
 
 
 def dim_bucket(count: int) -> int:
@@ -485,14 +498,25 @@ class ArenaLease:
     ``GraphBinding.backward`` detects this via the arena's bind generation
     and raises.  The serving engine executes batches to completion, so this
     never arises there.)
+
+    Leases handed out by a :class:`SharedArenaBudget` carry an ``on_bind``
+    hook: every bind marks the arena as recently *used* in the budget's LRU
+    order, so eviction tracks actual execution recency, not lease creation.
     """
 
-    def __init__(self, arena: "BufferArena", shapes: Dict[str, Tuple[int, ...]]):
+    def __init__(self, arena: "BufferArena", shapes: Dict[str, Tuple[int, ...]], on_bind=None):
         self.arena = arena
         self.shapes = dict(shapes)
+        self.on_bind = on_bind
+
+    def touch(self) -> None:
+        """Mark the leased arena as used (budget LRU recency); no-op otherwise."""
+        if self.on_bind is not None:
+            self.on_bind()
 
     def bind(self, env: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
         """Install this binding's arena views into an executor environment."""
+        self.touch()
         self.arena.ensure_shapes(self.shapes)
         return self.arena.bind(env)
 
@@ -576,3 +600,294 @@ class ArenaPool:
     def clear(self) -> None:
         self._arenas.clear()
         self.stats = ArenaPoolStats()
+
+
+@dataclass
+class TenantArenaStats:
+    """Per-tenant reuse and footprint counters of a :class:`SharedArenaBudget`.
+
+    ``evictions`` counts *this tenant's* arenas dropped by the budget —
+    whether the pressure came from the tenant itself or from a neighbour, so
+    a tenant squeezed out by a noisy co-tenant shows it in its own row.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    live_bytes: int = 0
+    high_water_bytes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class TenantArenaSource:
+    """One tenant's view of a :class:`SharedArenaBudget`.
+
+    Exposes the same ``lease(planner, ctx, ...)`` surface as
+    :class:`ArenaPool`, so ``CompiledRGNNModule.bind(graph, arena_source=...)``
+    can draw from a shared budget instead of the module's private pool.
+    """
+
+    def __init__(self, budget: "SharedArenaBudget", tenant: str):
+        self.budget = budget
+        self.tenant = tenant
+
+    @property
+    def stats(self) -> TenantArenaStats:
+        return self.budget.tenant_stats(self.tenant)
+
+    # Counter proxies, so a source quacks like ``ArenaPoolStats`` for
+    # telemetry consumers (``EngineStats.report`` accepts either).
+    @property
+    def hits(self) -> int:
+        return self.stats.hits
+
+    @property
+    def misses(self) -> int:
+        return self.stats.misses
+
+    @property
+    def evictions(self) -> int:
+        return self.stats.evictions
+
+    @property
+    def hit_rate(self) -> float:
+        return self.stats.hit_rate
+
+    def lease(
+        self,
+        planner: MemoryPlanner,
+        ctx,
+        dtype=np.float64,
+        training: Optional[bool] = None,
+    ) -> ArenaLease:
+        return self.budget.lease(self.tenant, planner, ctx, dtype=dtype, training=training)
+
+
+class SharedArenaBudget:
+    """Cross-tenant arena pool under one global (and optional per-tenant) byte cap.
+
+    The multi-tenant serving router owns one budget; every endpoint leases its
+    arenas through a :class:`TenantArenaSource` view.  Keys include the tenant
+    name — tenants never share slabs (their kernel plans differ, and sharing
+    would let one tenant read another's intermediates) — but all arenas count
+    against ``capacity_bytes``.  When an insert pushes the total over the cap,
+    the least-recently-used arena across *all* tenants is evicted (the arena
+    just built is exempt, so a single oversized arena still gets to exist).
+    A tenant registered with its own ``capacity_bytes`` is additionally capped
+    in isolation, evicting only its own LRU arenas.
+
+    Eviction drops the budget's reference; slabs stay alive while outstanding
+    leases reference them and are reclaimed by the allocator afterwards.  The
+    accounted ``live_bytes`` therefore tracks pool-held slabs, which is the
+    quantity the cap governs.
+
+    Args:
+        capacity_bytes: global cap on pool-held slab bytes; ``None`` = unbounded.
+        max_arenas: global cap on the *number* of live arenas (the analogue of
+            :class:`ArenaPool`'s LRU bound, so a long tail of rare block-size
+            buckets cannot accumulate slabs even under a generous byte cap);
+            ``None`` = unbounded.
+    """
+
+    def __init__(self, capacity_bytes: Optional[int] = None, max_arenas: Optional[int] = None):
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive (or None for unbounded)")
+        if max_arenas is not None and max_arenas < 1:
+            raise ValueError("max_arenas must be >= 1 (or None for unbounded)")
+        self.capacity_bytes = capacity_bytes
+        self.max_arenas = max_arenas
+        self._arenas: "OrderedDict[tuple, BufferArena]" = OrderedDict()
+        self._tenants: Dict[str, TenantArenaStats] = {}
+        self._tenant_caps: Dict[str, Optional[int]] = {}
+        self.high_water_bytes = 0
+        #: Eviction order, oldest first: ``(tenant, bucket_key)`` tuples — the
+        #: tests and the router report read this to explain *what* was dropped.
+        #: Bounded to the most recent :data:`EVICTION_LOG_LIMIT` entries so a
+        #: long-lived budget under churn cannot grow it without limit (the
+        #: per-tenant eviction *counters* are the unbounded-horizon record).
+        self.eviction_log: List[Tuple[str, tuple]] = []
+
+    # ------------------------------------------------------------------
+    # tenants
+    # ------------------------------------------------------------------
+    def tenant(self, name: str, capacity_bytes: Optional[int] = None) -> TenantArenaSource:
+        """Register (or fetch) a tenant and return its lease source.
+
+        Args:
+            name: tenant (endpoint) name; stats are keyed by it.
+            capacity_bytes: optional per-tenant cap on this tenant's
+                pool-held bytes, enforced in addition to the global cap.
+        """
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ValueError(f"tenant {name!r}: capacity_bytes must be positive (or None)")
+        if name not in self._tenants:
+            self._tenants[name] = TenantArenaStats()
+            self._tenant_caps[name] = capacity_bytes
+        elif capacity_bytes is not None:
+            self._tenant_caps[name] = capacity_bytes
+        return TenantArenaSource(self, name)
+
+    def tenant_stats(self, name: str) -> TenantArenaStats:
+        if name not in self._tenants:
+            raise KeyError(f"unknown tenant {name!r}; register it via budget.tenant(name)")
+        return self._tenants[name]
+
+    def has_tenant(self, name: str) -> bool:
+        return name in self._tenants
+
+    def drop_tenant(self, name: str) -> None:
+        """Remove a tenant entirely: its arenas, stats, and cap.
+
+        Used by the router to roll back a half-finished registration, and by
+        callers decommissioning an endpoint.  Unknown names are a no-op.
+        """
+        for key in [k for k in self._arenas if k[0] == name]:
+            del self._arenas[key]
+        self._tenants.pop(name, None)
+        self._tenant_caps.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # leasing
+    # ------------------------------------------------------------------
+    def lease(
+        self,
+        tenant: str,
+        planner: MemoryPlanner,
+        ctx,
+        dtype=np.float64,
+        training: Optional[bool] = None,
+    ) -> ArenaLease:
+        """Lease the tenant's pooled arena for ``ctx``'s size bucket.
+
+        A miss builds the arena (sized for the bucket ceiling, exactly like
+        :class:`ArenaPool`) and then enforces the per-tenant and global caps.
+        """
+        stats = self.tenant_stats(tenant)
+        sizes = _ContextSizes.from_context(ctx)
+        if training is None:
+            training = bool(planner.plan.backward_kernels)
+        key = (tenant, sizes.bucket_key(), np.dtype(dtype).str, bool(training))
+        arena = self._arenas.get(key)
+        if arena is not None:
+            stats.hits += 1
+            self._arenas.move_to_end(key)
+        else:
+            stats.misses += 1
+            arena = planner.build_arena(
+                ctx, dtype=dtype, training=training, capacity_sizes=sizes.bucketed()
+            )
+            self._arenas[key] = arena
+            stats.live_bytes += arena.arena_bytes()
+            stats.high_water_bytes = max(stats.high_water_bytes, stats.live_bytes)
+            self.high_water_bytes = max(self.high_water_bytes, self.live_bytes)
+            self._enforce_caps(protect=key)
+        shapes = planner.shapes_for(sizes, arena.memory_plan.slot_of)
+        return ArenaLease(arena, shapes, on_bind=lambda: self._touch(key))
+
+    def _touch(self, key: tuple) -> None:
+        """Refresh a key's LRU recency at *use* time (lease binds an env)."""
+        if key in self._arenas:
+            self._arenas.move_to_end(key)
+
+    def _evict(self, key: tuple) -> None:
+        arena = self._arenas.pop(key)
+        owner = key[0]
+        stats = self._tenants[owner]
+        stats.evictions += 1
+        stats.live_bytes -= arena.arena_bytes()
+        self.eviction_log.append((owner, key[1]))
+        if len(self.eviction_log) > EVICTION_LOG_LIMIT:
+            del self.eviction_log[:-EVICTION_LOG_LIMIT]
+
+    def _enforce_caps(self, protect: tuple) -> None:
+        """Evict LRU arenas until every cap holds; ``protect`` is never evicted."""
+        tenant = protect[0]
+        cap = self._tenant_caps.get(tenant)
+        if cap is not None:
+            while self._tenants[tenant].live_bytes > cap:
+                victim = next(
+                    (k for k in self._arenas if k[0] == tenant and k != protect), None
+                )
+                if victim is None:
+                    break
+                self._evict(victim)
+        if self.capacity_bytes is not None:
+            while self.live_bytes > self.capacity_bytes:
+                victim = next((k for k in self._arenas if k != protect), None)
+                if victim is None:
+                    break
+                self._evict(victim)
+        if self.max_arenas is not None:
+            while len(self._arenas) > self.max_arenas:
+                victim = next((k for k in self._arenas if k != protect), None)
+                if victim is None:  # pragma: no cover - max_arenas >= 1 guarantees a victim
+                    break
+                self._evict(victim)
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    @property
+    def live_arenas(self) -> int:
+        return len(self._arenas)
+
+    @property
+    def live_bytes(self) -> int:
+        """Bytes held by every pool-held arena's slabs."""
+        return int(sum(arena.arena_bytes() for arena in self._arenas.values()))
+
+    @property
+    def hits(self) -> int:
+        return sum(stats.hits for stats in self._tenants.values())
+
+    @property
+    def misses(self) -> int:
+        return sum(stats.misses for stats in self._tenants.values())
+
+    @property
+    def evictions(self) -> int:
+        return sum(stats.evictions for stats in self._tenants.values())
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def report(self) -> Dict[str, object]:
+        """Budget-wide and per-tenant footprint/reuse summary."""
+        return {
+            "capacity_bytes": self.capacity_bytes,
+            "live_arenas": self.live_arenas,
+            "live_bytes": self.live_bytes,
+            "high_water_bytes": self.high_water_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 3),
+            "tenants": {
+                name: {
+                    "hits": stats.hits,
+                    "misses": stats.misses,
+                    "evictions": stats.evictions,
+                    "live_bytes": stats.live_bytes,
+                    "high_water_bytes": stats.high_water_bytes,
+                    "capacity_bytes": self._tenant_caps.get(name),
+                }
+                for name, stats in self._tenants.items()
+            },
+        }
+
+    def clear(self) -> None:
+        """Drop every arena and reset counters (tenant registrations stay)."""
+        self._arenas.clear()
+        self.eviction_log.clear()
+        self.high_water_bytes = 0
+        for name in self._tenants:
+            self._tenants[name] = TenantArenaStats()

@@ -1,27 +1,60 @@
-"""Batched serving over sampled minibatch blocks.
+"""Multi-tenant serving over sampled minibatch blocks.
 
-The subsystem the compile→bind→execute split enables: one schema-specialised
-compiled module serves per-request seed-node queries by micro-batching
-requests, sampling blocks, binding against pooled arenas, executing the
-generated kernels once per batch, and scattering per-request outputs back —
-with throughput / latency / occupancy / reuse telemetry throughout.
+The subsystem the compile→bind→execute split enables: schema-specialised
+compiled modules serve per-request seed-node queries by micro-batching
+requests, sampling (or block-cache-fetching) blocks, binding against arenas
+leased from a shared budget, executing the generated kernels once per batch,
+and scattering per-request outputs back — with throughput / latency /
+occupancy / reuse telemetry throughout.
+
+The primary API is the :class:`Router`: named endpoints (compiled module +
+parent graph + sampler + batching policy + priority), async admission, an
+event-loop scheduler with weighted-round-robin fairness across endpoints,
+and one :class:`~repro.runtime.planner.SharedArenaBudget` byte cap over all
+tenants' arenas.
 
 Quickstart::
 
-    from repro.serving import ServingEngine
+    from repro.serving import Router
 
-    engine = ServingEngine("rgat", graph, in_dim=64, out_dim=64)
-    outputs = engine.query([3, 17, 42])     # (3, 64) rows, one per seed
-    print(engine.report())
+    router = Router(arena_capacity_bytes=64 << 20)
+    router.register("rgat-main", "rgat", graph, in_dim=64, out_dim=64)
+    outputs = router.query("rgat-main", [3, 17, 42])  # (3, 64) rows
+    print(router.report()["aggregate"])
+
+The single-tenant :class:`ServingEngine` remains as a thin shim over a
+one-endpoint router (see :mod:`repro.serving.engine` for the deprecation
+note and migration pointers).
 """
 
-from repro.serving.engine import ServingEngine, ServingRequest
-from repro.serving.stats import BatchRecord, EngineStats, percentile
+from repro.serving.endpoint import Endpoint, ServingRequest
+from repro.serving.engine import ServingEngine
+from repro.serving.router import Router
+from repro.serving.scheduler import (
+    EventLoopResult,
+    MonotonicClock,
+    ScheduledBatch,
+    VirtualClock,
+    WeightedRoundRobin,
+    partition_into_batches,
+    run_event_loop,
+)
+from repro.serving.stats import BatchRecord, EngineStats, aggregate_summary, percentile
 
 __all__ = [
+    "Router",
+    "Endpoint",
     "ServingEngine",
     "ServingRequest",
     "BatchRecord",
     "EngineStats",
+    "aggregate_summary",
     "percentile",
+    "VirtualClock",
+    "MonotonicClock",
+    "WeightedRoundRobin",
+    "ScheduledBatch",
+    "EventLoopResult",
+    "partition_into_batches",
+    "run_event_loop",
 ]

@@ -1,0 +1,364 @@
+"""Named serving endpoints: one compiled module + parent graph + sampler config.
+
+An :class:`Endpoint` is the unit of multi-tenancy in the serving router: it
+owns a schema-specialised compiled module, the parent graph requests sample
+their blocks from, the per-endpoint feature store, sampler (fanouts + RNG),
+micro-batching policy, an LRU **block cache** keyed on the frozen seed set
+(hot seed sets skip resampling entirely), and per-endpoint telemetry.  Memory
+is *not* owned here — endpoints lease arenas from the router's
+:class:`~repro.runtime.planner.SharedArenaBudget` through a per-tenant
+source, so all tenants stay under one byte cap.
+
+Endpoints are created by :meth:`repro.serving.router.Router.register`; the
+legacy single-tenant :class:`~repro.serving.engine.ServingEngine` is a thin
+shim over a router with exactly one of them.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.frontend.compiler import compile_program
+from repro.frontend.config import CompilerOptions
+from repro.graph.generators import random_features
+from repro.graph.hetero_graph import HeteroGraph
+from repro.graph.sampler import Fanout, MinibatchBlock, NeighborSampler
+from repro.runtime.module import CompiledRGNNModule
+from repro.serving.stats import BatchRecord, EngineStats
+
+
+@dataclass
+class ServingRequest:
+    """One in-flight query: seed nodes in, per-seed output rows out."""
+
+    seeds: np.ndarray
+    arrival_s: float = 0.0
+    result: Optional[np.ndarray] = None
+    latency_s: Optional[float] = None
+    endpoint: Optional[str] = None
+
+    @property
+    def done(self) -> bool:
+        return self.result is not None
+
+
+def resolve_module(
+    model: Union[str, CompiledRGNNModule],
+    graph: HeteroGraph,
+    *,
+    in_dim: int,
+    out_dim: int,
+    options: Optional[CompilerOptions],
+    seed: int,
+) -> Tuple[CompiledRGNNModule, Optional[object], Optional[CompilerOptions]]:
+    """Compile (or adopt) a module for one endpoint.
+
+    Returns ``(module, program, options)``; ``program``/``options`` are kept
+    only when the endpoint compiled the model itself with the compilation
+    cache enabled — they drive the per-batch plan-replay check.  Adopted
+    modules carry no program handle, so replay accounting is off for them
+    (plan reuse still holds trivially: the endpoint binds the one module it
+    was given).
+    """
+    if isinstance(model, CompiledRGNNModule):
+        model.schema.validate_graph(graph)
+        return model, None, None
+    from repro.models import build_program  # local import to avoid a cycle
+
+    options = options or CompilerOptions(emit_backward=False)
+    program = build_program(model, in_dim=in_dim, out_dim=out_dim)
+    result = compile_program(program, options, graph=graph)
+    module = CompiledRGNNModule(result.plan, result.generated, graph, seed=seed)
+    if options.enable_compilation_cache:
+        # Per-batch replay checks only make sense when lookups are cache
+        # hits; with the cache disabled each check would be a full,
+        # discarded recompilation per batch.
+        return module, program, options
+    return module, None, None
+
+
+def validate_endpoint_config(
+    name: str,
+    priority: int,
+    max_batch_size: int,
+    batch_timeout_s: float,
+    block_cache_size: int,
+) -> None:
+    """Shared config checks, raised with the endpoint's name.
+
+    Called by :meth:`Router.register` *before* the (expensive) model compile
+    and again by :class:`Endpoint` itself for direct constructions — one
+    implementation, so the two call sites cannot drift.
+    """
+    if not isinstance(priority, int) or priority < 1:
+        raise ValueError(f"endpoint {name!r}: priority must be an integer >= 1")
+    if max_batch_size < 1:
+        raise ValueError(f"endpoint {name!r}: max_batch_size must be >= 1")
+    if batch_timeout_s < 0:
+        raise ValueError(f"endpoint {name!r}: batch_timeout_s must be >= 0")
+    if block_cache_size < 0:
+        raise ValueError(f"endpoint {name!r}: block_cache_size must be >= 0")
+
+
+class Endpoint:
+    """One tenant of the serving router.
+
+    Args:
+        name: the endpoint's registered name (appears in errors and reports).
+        module: the schema-specialised compiled module serving this endpoint.
+        graph: the parent graph requests sample their blocks from.
+        features: ``(graph.num_nodes, in_dim)`` node-feature store; defaults
+            to a deterministic random matrix keyed on ``seed``.
+        fanouts: per-hop neighbor-sampling fanouts.
+        priority: weighted-round-robin weight (≥ 1); an endpoint with weight
+            3 gets ~3× the batch slots of a weight-1 endpoint under
+            contention.
+        max_batch_size / batch_timeout_s: micro-batching policy.
+        arena_source: per-tenant view of the router's shared arena budget
+            (``None`` only when memory planning is off for the plan).
+        block_cache_size: LRU capacity of the sampled-block cache, in entries
+            (0 disables caching — the legacy engine shim uses this to stay
+            bit-identical with resample-every-batch behaviour under finite
+            fanouts).
+        program / options: compilation handles for plan-replay accounting
+            (see :func:`resolve_module`).
+        sampler_seed: RNG seed of the endpoint's private sampler.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        module: CompiledRGNNModule,
+        graph: HeteroGraph,
+        *,
+        features: Optional[np.ndarray] = None,
+        fanouts: Sequence[Fanout] = (None,),
+        priority: int = 1,
+        max_batch_size: int = 8,
+        batch_timeout_s: float = 0.002,
+        arena_source=None,
+        block_cache_size: int = 32,
+        program=None,
+        options: Optional[CompilerOptions] = None,
+        sampler_seed: int = 0,
+        seed: int = 0,
+    ):
+        validate_endpoint_config(name, priority, max_batch_size, batch_timeout_s, block_cache_size)
+        self.name = name
+        self.module = module
+        self.graph = graph
+        self.priority = priority
+        self.max_batch_size = max_batch_size
+        self.batch_timeout_s = batch_timeout_s
+        self.arena_source = arena_source
+        self.block_cache_size = block_cache_size
+        self._program = program
+        self._options = options
+
+        dim = module.input_feature_dim
+        if features is None:
+            if dim is None:
+                raise ValueError(
+                    f"endpoint {name!r}: the plan's input feature dimension is "
+                    "ambiguous; pass features="
+                )
+            features = random_features(graph, dim, seed=seed)
+        features = np.asarray(features, dtype=np.float64)
+        if features.shape[0] != graph.num_nodes:
+            raise ValueError(
+                f"endpoint {name!r}: feature store must have {graph.num_nodes} rows "
+                f"(graph {graph.name!r}), got {features.shape[0]}"
+            )
+        if dim is not None and features.shape[1] != dim:
+            raise ValueError(
+                f"endpoint {name!r}: feature store must have dimension {dim} (the "
+                f"compiled plan's node-feature input), got {features.shape[1]}"
+            )
+        self.features = features
+        self.sampler = NeighborSampler(graph, fanouts=fanouts, seed=sampler_seed)
+        self.fanouts = self.sampler.fanouts
+        self.output_name = module.plan.output_names[0]
+
+        self.stats = EngineStats(arena=arena_source)
+        self.plan_replays = 0
+        self.plan_recompiles = 0
+        self.pending: List[ServingRequest] = []
+        self._block_cache: "OrderedDict[Tuple[int, ...], MinibatchBlock]" = OrderedDict()
+        self.block_cache_hits = 0
+        self.block_cache_misses = 0
+        self.block_cache_evictions = 0
+
+    # ------------------------------------------------------------------
+    # request admission
+    # ------------------------------------------------------------------
+    def validate_seeds(self, seeds) -> np.ndarray:
+        """Normalise and range-check seed ids *at admission time*.
+
+        Out-of-range ids used to surface as a deep gather failure inside the
+        sampler, long after ``submit()`` returned; here they fail fast with
+        the endpoint name and the offending ids spelled out.
+        """
+        seeds = np.asarray(seeds, dtype=np.int64).reshape(-1)
+        if seeds.size == 0:
+            raise ValueError(
+                f"endpoint {self.name!r}: a request needs at least one seed node"
+            )
+        bad = seeds[(seeds < 0) | (seeds >= self.graph.num_nodes)]
+        if bad.size:
+            shown = bad[:8].tolist()
+            suffix = ", ..." if bad.size > 8 else ""
+            raise ValueError(
+                f"endpoint {self.name!r}: seed ids {shown}{suffix} out of range "
+                f"[0, {self.graph.num_nodes}) for parent graph {self.graph.name!r}"
+            )
+        return seeds
+
+    def make_request(self, seeds, arrival_s: float = 0.0) -> ServingRequest:
+        return ServingRequest(
+            seeds=self.validate_seeds(seeds),
+            arrival_s=float(arrival_s),
+            endpoint=self.name,
+        )
+
+    def submit(self, seeds, arrival_s: float = 0.0) -> ServingRequest:
+        """Enqueue a request; it completes when the router schedules a batch."""
+        request = self.make_request(seeds, arrival_s)
+        self.pending.append(request)
+        return request
+
+    # ------------------------------------------------------------------
+    # block cache
+    # ------------------------------------------------------------------
+    def _sample_block(self, union_seeds: np.ndarray) -> Tuple[MinibatchBlock, Optional[bool]]:
+        """The batch's block, from the LRU cache when the seed set is hot.
+
+        The key is the *frozen* (sorted, deduplicated) seed set, so request
+        order and duplication inside a batch never fragment the cache.
+        Returns ``(block, cache_hit)``; ``cache_hit`` is ``None`` when
+        caching is disabled.
+        """
+        if self.block_cache_size == 0:
+            return self.sampler.sample(union_seeds), None
+        key = tuple(union_seeds.tolist())
+        block = self._block_cache.get(key)
+        if block is not None:
+            self.block_cache_hits += 1
+            self._block_cache.move_to_end(key)
+            return block, True
+        self.block_cache_misses += 1
+        block = self.sampler.sample(union_seeds)
+        self._block_cache[key] = block
+        while len(self._block_cache) > self.block_cache_size:
+            self._block_cache.popitem(last=False)
+            self.block_cache_evictions += 1
+        return block, False
+
+    def invalidate_block_cache(self) -> int:
+        """Drop every cached block (e.g. after the parent graph's features or
+        structure change); returns the number of entries dropped."""
+        dropped = len(self._block_cache)
+        self._block_cache.clear()
+        return dropped
+
+    @property
+    def block_cache_len(self) -> int:
+        return len(self._block_cache)
+
+    @property
+    def block_cache_hit_rate(self) -> float:
+        lookups = self.block_cache_hits + self.block_cache_misses
+        return self.block_cache_hits / lookups if lookups else 0.0
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute_batch(self, requests: List[ServingRequest]) -> float:
+        """Sample (or fetch), bind, execute, and scatter one micro-batch.
+
+        Returns the measured service seconds (sampling + execution).
+        """
+        sample_start = time.perf_counter()
+        all_seeds = np.concatenate([request.seeds for request in requests])
+        union_seeds, inverse = np.unique(all_seeds, return_inverse=True)
+        block, cache_hit = self._sample_block(union_seeds)
+        execute_start = time.perf_counter()
+
+        plan_replayed: Optional[bool] = None
+        if self._program is not None:
+            # Replay the compiled artefact through the cache, exactly as a
+            # compile-per-request deployment would — except it must *hit*:
+            # blocks share the parent's schema, and sizes never enter the key.
+            result = compile_program(self._program, self._options, graph=block.graph)
+            plan_replayed = result.plan is self.module.plan
+            if plan_replayed:
+                self.plan_replays += 1
+            else:  # pragma: no cover - would indicate a cache-key regression
+                self.plan_recompiles += 1
+
+        binding = self.module.bind(
+            block.graph,
+            arena_source=self.arena_source,
+            label=f"endpoint {self.name!r}",
+        )
+        outputs = binding.forward(block.gather_features(self.features))
+        seed_rows = block.seed_outputs(outputs[self.output_name])
+        offset = 0
+        for request in requests:
+            span = len(request.seeds)
+            request.result = seed_rows[inverse[offset:offset + span]]
+            offset += span
+        done = time.perf_counter()
+
+        self.stats.record_batch(BatchRecord(
+            num_requests=len(requests),
+            num_seeds=int(len(all_seeds)),
+            block_nodes=block.num_nodes,
+            block_edges=block.num_edges,
+            sample_seconds=execute_start - sample_start,
+            execute_seconds=done - execute_start,
+            plan_replayed=plan_replayed,
+            block_cache_hit=cache_hit,
+        ))
+        return done - sample_start
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        """Drop accumulated telemetry (e.g. after a warmup batch).
+
+        Arena-budget and block-cache contents stay — warm state is precisely
+        what warmup is for — but batch records, latencies, plan-replay and
+        block-cache *counters* restart.
+        """
+        self.stats = EngineStats(arena=self.arena_source)
+        self.plan_replays = 0
+        self.plan_recompiles = 0
+        self.block_cache_hits = 0
+        self.block_cache_misses = 0
+        self.block_cache_evictions = 0
+
+    def report(self) -> Dict[str, object]:
+        """Endpoint-scoped summary: throughput, latency, reuse, cache, memory."""
+        out = self.stats.report()
+        out["endpoint"] = self.name
+        out["priority"] = self.priority
+        out["max_batch_size"] = self.max_batch_size
+        out["plan_replays"] = self.plan_replays
+        out["plan_recompiles"] = self.plan_recompiles
+        if self.block_cache_size:
+            out["block_cache_hit_rate"] = round(self.block_cache_hit_rate, 3)
+            out["block_cache_len"] = self.block_cache_len
+            out["block_cache_evictions"] = self.block_cache_evictions
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Endpoint({self.name!r}, plan={self.module.plan.name!r}, "
+            f"graph={self.graph.name!r}, priority={self.priority})"
+        )

@@ -1,63 +1,48 @@
-"""The batched serving engine: per-request seed queries over one compiled plan.
+"""The legacy single-tenant serving engine, as a shim over the router.
 
-``ServingEngine`` is the systems layer the compile→bind→execute refactor
-exists for.  It compiles (or adopts) one schema-specialised module, then for
-every request stream:
+.. deprecated::
+    ``ServingEngine`` predates the multi-tenant redesign.  It remains fully
+    supported — same constructor, same ``submit`` / ``flush`` / ``query`` /
+    ``serve`` / ``report`` surface, bit-identical results — but it is now a
+    thin wrapper around a :class:`~repro.serving.router.Router` hosting
+    exactly one endpoint named ``"default"``.  New code should use the
+    router directly: it adds named endpoints, cross-endpoint fairness,
+    shared arena budgets, and block caching (``register`` / ``submit`` /
+    ``serve``); see :mod:`repro.serving.router`.
 
-1. **micro-batches** pending requests (closing a batch at ``max_batch_size``
-   or when the oldest request has waited ``batch_timeout_s``),
-2. **samples** one minibatch block for the union of the batch's seed nodes,
-3. **binds** the module against the block — the plan is replayed from the
-   compilation cache, the arena comes from the module's bucketed pool —
-4. **executes** the generated kernels once for the whole batch, and
-5. **scatters** per-request output rows back to each request.
+Two intentional equivalences with the pre-router engine:
 
-When the compilation cache is enabled (the default), every batch verifies
-the replay invariant explicitly: a cache lookup for the block must return
-the *identical* plan object the engine compiled at construction (zero
-recompiles after warmup), and the hit is visible in the global cache
-counters the benchmarks assert on.  With the cache disabled the check is
-skipped — it would otherwise recompile per batch.
-
-The engine is synchronous and single-threaded — requests are processed when
-``flush()`` (or the simulated-arrival ``serve()`` driver) runs.  An
-async/event-loop front end is a ROADMAP follow-on; the batching, sampling,
-binding, and accounting below are the parts it will reuse.
+* The block cache is **disabled** for the shim's endpoint.  Under finite
+  fanouts the legacy engine drew a fresh sample for every batch; caching
+  would change which block a repeated seed set executes against, and the
+  shim's contract is bit-identical outputs.
+* The shim's endpoint leases arenas from the private router's shared budget
+  (unbounded, one tenant) instead of the module's own :class:`ArenaPool`.
+  Arena provenance never affects results — reused slabs are re-viewed and
+  zero-filled by the generated kernels' ``_ensure`` before every write.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.frontend.compiler import compile_program
 from repro.frontend.config import CompilerOptions
-from repro.graph.generators import random_features
 from repro.graph.hetero_graph import HeteroGraph
-from repro.graph.sampler import Fanout, NeighborSampler
+from repro.graph.sampler import Fanout
 from repro.runtime.module import CompiledRGNNModule
-from repro.serving.stats import BatchRecord, EngineStats
+from repro.serving.endpoint import ServingRequest
+from repro.serving.router import Router
 
-
-@dataclass
-class ServingRequest:
-    """One in-flight query: seed nodes in, per-seed output rows out."""
-
-    seeds: np.ndarray
-    arrival_s: float = 0.0
-    result: Optional[np.ndarray] = None
-    latency_s: Optional[float] = None
-
-    @property
-    def done(self) -> bool:
-        return self.result is not None
+__all__ = ["ServingEngine", "ServingRequest"]
 
 
 class ServingEngine:
     """Micro-batched inference over sampled blocks of one parent graph.
+
+    A one-endpoint :class:`~repro.serving.router.Router` under the legacy
+    API (see the module docstring for the deprecation note).
 
     Args:
         model: a model name (``"rgcn"`` / ``"rgat"`` / ``"hgt"``) compiled
@@ -77,6 +62,8 @@ class ServingEngine:
         batch_timeout_s: oldest-request wait bound used by :meth:`serve`.
         sampler_seed / seed: RNG seeds (sampling / parameter init).
     """
+
+    _ENDPOINT = "default"
 
     def __init__(
         self,
@@ -98,75 +85,70 @@ class ServingEngine:
         if batch_timeout_s < 0:
             raise ValueError("batch_timeout_s must be >= 0")
         self.graph = graph
-        self.max_batch_size = max_batch_size
-        self.batch_timeout_s = batch_timeout_s
+        # max_arenas=4 mirrors the pre-router per-module ArenaPool bound, so
+        # a long tail of rare block sizes stays as bounded as it always was.
+        self.router = Router(max_arenas=4)
+        self._endpoint = self.router.register(
+            self._ENDPOINT,
+            model,
+            graph,
+            in_dim=in_dim,
+            out_dim=out_dim,
+            options=options,
+            features=features,
+            fanouts=fanouts,
+            max_batch_size=max_batch_size,
+            batch_timeout_s=batch_timeout_s,
+            block_cache_size=0,  # legacy engines resample every batch
+            sampler_seed=sampler_seed,
+            seed=seed,
+        )
 
-        if isinstance(model, CompiledRGNNModule):
-            model.schema.validate_graph(graph)
-            self.module = model
-            # Adopted modules carry no program handle, so per-batch cache
-            # replays cannot be driven (or counted) — plan reuse still holds
-            # trivially because the engine binds the one module it was given.
-            self._program = None
-            self._options = None
-        else:
-            from repro.models import build_program  # local import to avoid a cycle
+    # ------------------------------------------------------------------
+    # delegated state (kept as properties: reset_stats swaps the objects)
+    # ------------------------------------------------------------------
+    @property
+    def module(self) -> CompiledRGNNModule:
+        return self._endpoint.module
 
-            options = options or CompilerOptions(emit_backward=False)
-            program = build_program(model, in_dim=in_dim, out_dim=out_dim)
-            result = compile_program(program, options, graph=graph)
-            self.module = CompiledRGNNModule(result.plan, result.generated, graph, seed=seed)
-            # Per-batch replay checks only make sense when lookups are cache
-            # hits; with the cache disabled each check would be a full,
-            # discarded recompilation per batch.
-            self._program = program if options.enable_compilation_cache else None
-            self._options = options if options.enable_compilation_cache else None
+    @property
+    def features(self) -> np.ndarray:
+        return self._endpoint.features
 
-        dim = self.module.input_feature_dim
-        if features is None:
-            if dim is None:
-                raise ValueError(
-                    "the plan's input feature dimension is ambiguous; pass features="
-                )
-            features = random_features(graph, dim, seed=seed)
-        features = np.asarray(features, dtype=np.float64)
-        if features.shape[0] != graph.num_nodes:
-            raise ValueError(
-                f"feature store must have {graph.num_nodes} rows (graph "
-                f"{graph.name!r}), got {features.shape[0]}"
-            )
-        if dim is not None and features.shape[1] != dim:
-            raise ValueError(
-                f"feature store must have dimension {dim} (the compiled plan's "
-                f"node-feature input), got {features.shape[1]}"
-            )
-        self.features = features
-        self.sampler = NeighborSampler(graph, fanouts=fanouts, seed=sampler_seed)
-        self.output_name = self.module.plan.output_names[0]
-        self.stats = EngineStats()
-        self.plan_replays = 0
-        self.plan_recompiles = 0
-        self._pending: List[ServingRequest] = []
+    @property
+    def sampler(self):
+        return self._endpoint.sampler
+
+    @property
+    def stats(self):
+        return self._endpoint.stats
+
+    @property
+    def plan_replays(self) -> int:
+        return self._endpoint.plan_replays
+
+    @property
+    def plan_recompiles(self) -> int:
+        return self._endpoint.plan_recompiles
+
+    @property
+    def max_batch_size(self) -> int:
+        return self._endpoint.max_batch_size
+
+    @property
+    def batch_timeout_s(self) -> float:
+        return self._endpoint.batch_timeout_s
+
+    @property
+    def output_name(self) -> str:
+        return self._endpoint.output_name
 
     # ------------------------------------------------------------------
     # request interface
     # ------------------------------------------------------------------
-    def _make_request(self, seeds, arrival_s: float) -> ServingRequest:
-        seeds = np.asarray(seeds, dtype=np.int64).reshape(-1)
-        if seeds.size == 0:
-            raise ValueError("a request needs at least one seed node")
-        if seeds.min() < 0 or seeds.max() >= self.graph.num_nodes:
-            raise ValueError(
-                f"seed ids must lie in [0, {self.graph.num_nodes}) for graph "
-                f"{self.graph.name!r}"
-            )
-        return ServingRequest(seeds=seeds, arrival_s=float(arrival_s))
-
     def submit(self, seeds, arrival_s: float = 0.0) -> ServingRequest:
         """Enqueue a request; it completes on the next :meth:`flush`."""
-        request = self._make_request(seeds, arrival_s)
-        self._pending.append(request)
-        return request
+        return self.router.submit(self._ENDPOINT, seeds, arrival_s)
 
     def flush(self) -> List[ServingRequest]:
         """Drain the queue now, in arrival order, in batches of at most
@@ -176,24 +158,14 @@ class ServingEngine:
         execution) — there is no simulated queueing delay outside
         :meth:`serve`.
         """
-        pending, self._pending = self._pending, []
-        for start in range(0, len(pending), self.max_batch_size):
-            batch = pending[start:start + self.max_batch_size]
-            elapsed = self._execute_batch(batch)
-            for request in batch:
-                request.latency_s = elapsed
-                self.stats.record_latency(elapsed)
-        return pending
+        return self.router.flush()
 
     def query(self, seeds) -> np.ndarray:
         """Synchronous single query: ``(len(seeds), out_dim)`` output rows.
 
         Flushes the queue, so any previously submitted requests complete too.
         """
-        request = self.submit(seeds)
-        self.flush()
-        assert request.result is not None
-        return request.result
+        return self.router.query(self._ENDPOINT, seeds)
 
     # ------------------------------------------------------------------
     # simulated open-loop driver
@@ -222,84 +194,11 @@ class ServingEngine:
             arrival_times = [0.0] * len(seed_lists)
         if len(arrival_times) != len(seed_lists):
             raise ValueError("need one arrival time per request")
-        self.flush()
-        requests = [
-            self._make_request(seeds, arrival_s=arrival)
+        self.router.serve([
+            (self._ENDPOINT, seeds, float(arrival))
             for seeds, arrival in zip(seed_lists, arrival_times)
-        ]
-        requests.sort(key=lambda request: request.arrival_s)
-
-        clock = 0.0
-        index = 0
-        while index < len(requests):
-            batch = [requests[index]]
-            window_end = requests[index].arrival_s + self.batch_timeout_s
-            index += 1
-            while (
-                index < len(requests)
-                and len(batch) < self.max_batch_size
-                and requests[index].arrival_s <= window_end
-            ):
-                batch.append(requests[index])
-                index += 1
-            # The batch is ready when full (last member's arrival) or when its
-            # oldest member's timeout window expires.
-            ready = (
-                batch[-1].arrival_s
-                if len(batch) == self.max_batch_size
-                else window_end
-            )
-            service_start = max(clock, ready)
-            elapsed = self._execute_batch(batch)
-            clock = service_start + elapsed
-            for request in batch:
-                request.latency_s = clock - request.arrival_s
-                self.stats.record_latency(request.latency_s)
+        ])
         return self.report()
-
-    # ------------------------------------------------------------------
-    # execution
-    # ------------------------------------------------------------------
-    def _execute_batch(self, requests: List[ServingRequest]) -> float:
-        """Sample, bind, execute, and scatter one micro-batch; returns seconds."""
-        sample_start = time.perf_counter()
-        all_seeds = np.concatenate([request.seeds for request in requests])
-        union_seeds, inverse = np.unique(all_seeds, return_inverse=True)
-        block = self.sampler.sample(union_seeds)
-        execute_start = time.perf_counter()
-
-        plan_replayed: Optional[bool] = None
-        if self._program is not None:
-            # Replay the compiled artefact through the cache, exactly as a
-            # compile-per-request deployment would — except it must *hit*:
-            # blocks share the parent's schema, and sizes never enter the key.
-            result = compile_program(self._program, self._options, graph=block.graph)
-            plan_replayed = result.plan is self.module.plan
-            if plan_replayed:
-                self.plan_replays += 1
-            else:  # pragma: no cover - would indicate a cache-key regression
-                self.plan_recompiles += 1
-
-        binding = self.module.bind(block.graph)
-        outputs = binding.forward(block.gather_features(self.features))
-        seed_rows = block.seed_outputs(outputs[self.output_name])
-        offset = 0
-        for request in requests:
-            span = len(request.seeds)
-            request.result = seed_rows[inverse[offset:offset + span]]
-            offset += span
-        done = time.perf_counter()
-
-        self.stats.record_batch(BatchRecord(
-            num_requests=len(requests),
-            num_seeds=int(len(all_seeds)),
-            block_nodes=block.num_nodes,
-            block_edges=block.num_edges,
-            sample_seconds=execute_start - sample_start,
-            execute_seconds=done - execute_start,
-            plan_replayed=plan_replayed,
-        ))
-        return done - sample_start
 
     # ------------------------------------------------------------------
     # reporting
@@ -307,12 +206,10 @@ class ServingEngine:
     def reset_stats(self) -> None:
         """Drop accumulated telemetry (e.g. after a warmup batch).
 
-        Arena-pool counters stay — warm arenas are precisely what warmup is
-        for — but batch records, latencies, and plan-replay counts restart.
+        Arena counters stay — warm arenas are precisely what warmup is for —
+        but batch records, latencies, and plan-replay counts restart.
         """
-        self.stats = EngineStats()
-        self.plan_replays = 0
-        self.plan_recompiles = 0
+        self.router.reset_stats()
 
     def report(self) -> Dict[str, object]:
         """Engine-level summary: throughput, latency, occupancy, reuse rates.
@@ -320,13 +217,14 @@ class ServingEngine:
         All numbers are scoped to *this engine*: plan replays/recompiles are
         the engine's own per-batch cache lookups, not the process-global
         cache counters (which mix in every other compilation in the process).
+        Arena counters come from the engine's tenant slice of the (private)
+        shared budget; the keys keep their legacy names.
         """
-        summary = self.stats.summary()
-        summary["max_batch_size"] = self.max_batch_size
-        pool = self.module.arena_pool
-        if pool is not None:
-            summary["arena_pool_hit_rate"] = round(pool.stats.hit_rate, 3)
-            summary["live_arenas"] = pool.live_arenas
-        summary["plan_replays"] = self.plan_replays
-        summary["plan_recompiles"] = self.plan_recompiles
+        summary = self._endpoint.report()
+        summary.pop("endpoint", None)
+        summary.pop("priority", None)
+        summary["live_arenas"] = self.router.budget.live_arenas
+        if "arena_pool_hit_rate" not in summary:
+            # Memory planning disabled for this plan: no arena telemetry.
+            summary["arena_pool_hit_rate"] = 0.0
         return summary

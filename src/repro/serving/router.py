@@ -1,0 +1,337 @@
+"""The multi-tenant serving router: named endpoints over one shared executor.
+
+One :class:`Router` hosts any number of named endpoints — each a compiled
+module + parent graph + sampler + micro-batching policy
+(:mod:`repro.serving.endpoint`) — and multiplexes their request streams onto
+one executor under a single :class:`~repro.runtime.planner.SharedArenaBudget`
+byte cap.  Scheduling is a real event loop (:mod:`repro.serving.scheduler`):
+requests are admitted concurrently across endpoints, each endpoint
+micro-batches its own queue, and ready batches compete for the executor under
+smooth weighted round-robin, so a heavy tenant cannot starve a light one.
+
+Quickstart::
+
+    from repro.serving import Router
+
+    router = Router(arena_capacity_bytes=64 << 20)
+    router.register("rgcn-small", "rgcn", small_graph, in_dim=64, out_dim=64)
+    router.register("hgt-large", "hgt", large_graph, in_dim=64, out_dim=64,
+                    priority=2, fanouts=(8,))
+
+    rows = router.query("rgcn-small", [3, 17, 42])   # synchronous
+    router.submit("hgt-large", [5, 9], arrival_s=0.0)  # async admission
+    report = router.serve([("rgcn-small", [1, 2]), ("hgt-large", [7])])
+    print(report["aggregate"], report["arena_budget"])
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.frontend.config import CompilerOptions
+from repro.graph.hetero_graph import HeteroGraph
+from repro.graph.sampler import Fanout
+from repro.runtime.module import CompiledRGNNModule
+from repro.runtime.planner import SharedArenaBudget
+from repro.serving.endpoint import (
+    Endpoint,
+    ServingRequest,
+    resolve_module,
+    validate_endpoint_config,
+)
+from repro.serving.scheduler import (
+    MonotonicClock,
+    ScheduledBatch,
+    VirtualClock,
+    WeightedRoundRobin,
+    partition_into_batches,
+    run_event_loop,
+)
+from repro.serving.stats import aggregate_summary
+
+#: One entry of a ``Router.serve`` stream: ``(endpoint, seeds)`` or
+#: ``(endpoint, seeds, arrival_s)``.
+StreamItem = Union[Tuple[str, object], Tuple[str, object, float]]
+
+#: Retention bound of :attr:`Router.execution_log` (most recent batches).
+EXECUTION_LOG_LIMIT = 4096
+
+
+class Router:
+    """Admission, scheduling, and memory arbitration across named endpoints.
+
+    Args:
+        arena_capacity_bytes: global byte cap of the shared arena budget
+            every endpoint leases from (``None`` = unbounded).
+        max_arenas: global cap on live arenas across all endpoints (``None``
+            = unbounded; the legacy engine shim passes 4, the old per-module
+            pool bound).
+    """
+
+    def __init__(
+        self,
+        *,
+        arena_capacity_bytes: Optional[int] = None,
+        max_arenas: Optional[int] = None,
+    ):
+        self.budget = SharedArenaBudget(
+            capacity_bytes=arena_capacity_bytes, max_arenas=max_arenas
+        )
+        self._endpoints: Dict[str, Endpoint] = {}
+        self._wrr = WeightedRoundRobin()
+        #: Endpoint name per executed batch, in execution order — the
+        #: fairness tests and the study read this to see the interleaving.
+        #: Bounded to the most recent :data:`EXECUTION_LOG_LIMIT` batches so
+        #: a long-lived router's telemetry cannot grow without limit.
+        self.execution_log: List[str] = []
+        #: Requests admitted by the most recent :meth:`serve` call, in stream
+        #: order — callers that need per-request results (e.g. the
+        #: multi-tenant study's bit-identical cross-check) read them here.
+        #: Replaced wholesale on every ``serve``, so it only ever pins one
+        #: stream's requests.
+        self.last_served: List[ServingRequest] = []
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        model: Union[str, CompiledRGNNModule],
+        parent_graph: HeteroGraph,
+        *,
+        in_dim: int = 64,
+        out_dim: int = 64,
+        options: Optional[CompilerOptions] = None,
+        features: Optional[np.ndarray] = None,
+        fanouts: Sequence[Fanout] = (None,),
+        priority: int = 1,
+        arena_budget: Optional[int] = None,
+        max_batch_size: int = 8,
+        batch_timeout_s: float = 0.002,
+        block_cache_size: int = 32,
+        sampler_seed: int = 0,
+        seed: int = 0,
+    ) -> Endpoint:
+        """Create a named endpoint: compiled module + graph + sampler + stats.
+
+        Args:
+            name: unique endpoint name; the address of ``submit``/``query``.
+            model: a model name (``"rgcn"`` / ``"rgat"`` / ``"hgt"``)
+                compiled here, or an already-compiled module to adopt.
+            parent_graph: the graph this endpoint's requests sample from.
+            priority: weighted-round-robin weight (≥ 1).
+            arena_budget: optional per-endpoint byte cap inside the shared
+                budget (the global ``arena_capacity_bytes`` always applies).
+            block_cache_size: LRU capacity of the sampled-block cache
+                (entries; 0 disables).
+            Remaining arguments mirror the legacy ``ServingEngine``.
+        """
+        if name in self._endpoints:
+            raise ValueError(f"endpoint {name!r} is already registered")
+        # Cheap config checks fail before the (expensive) model compile.
+        validate_endpoint_config(name, priority, max_batch_size, batch_timeout_s, block_cache_size)
+        module, program, kept_options = resolve_module(
+            model, parent_graph, in_dim=in_dim, out_dim=out_dim, options=options, seed=seed
+        )
+        arena_source = (
+            self.budget.tenant(name, capacity_bytes=arena_budget)
+            if module.memory_planner is not None
+            else None
+        )
+        try:
+            endpoint = Endpoint(
+                name,
+                module,
+                parent_graph,
+                features=features,
+                fanouts=fanouts,
+                priority=priority,
+                max_batch_size=max_batch_size,
+                batch_timeout_s=batch_timeout_s,
+                arena_source=arena_source,
+                block_cache_size=block_cache_size,
+                program=program,
+                options=kept_options,
+                sampler_seed=sampler_seed,
+                seed=seed,
+            )
+        except Exception:
+            # Roll the tenant back: a failed registration must not leave a
+            # phantom entry (or a sticky per-tenant cap) in the budget.
+            if arena_source is not None:
+                self.budget.drop_tenant(name)
+            raise
+        self._endpoints[name] = endpoint
+        self._wrr.register(name, priority)
+        return endpoint
+
+    def endpoint(self, name: str) -> Endpoint:
+        """The endpoint registered under ``name`` (clear error otherwise)."""
+        try:
+            return self._endpoints[name]
+        except KeyError:
+            known = ", ".join(repr(n) for n in self._endpoints) or "none"
+            raise ValueError(
+                f"unknown endpoint {name!r}; registered endpoints: {known}"
+            ) from None
+
+    @property
+    def endpoint_names(self) -> List[str]:
+        return list(self._endpoints)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._endpoints
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def submit(self, endpoint_name: str, seeds, arrival_s: float = 0.0) -> ServingRequest:
+        """Admit one request asynchronously; seeds are validated *now*.
+
+        The request completes on the next :meth:`flush` / :meth:`serve`.
+        """
+        return self.endpoint(endpoint_name).submit(seeds, arrival_s)
+
+    def query(self, endpoint_name: str, seeds) -> np.ndarray:
+        """Synchronous single query: ``(len(seeds), out_dim)`` output rows.
+
+        Flushes the router, so any previously submitted requests (on any
+        endpoint) complete too.
+        """
+        request = self.submit(endpoint_name, seeds)
+        self.flush()
+        assert request.result is not None
+        return request.result
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def _drain_pending(self) -> Dict[str, List[ServingRequest]]:
+        drained: Dict[str, List[ServingRequest]] = {}
+        for name, endpoint in self._endpoints.items():
+            if endpoint.pending:
+                drained[name], endpoint.pending = endpoint.pending, []
+        return drained
+
+    def flush(self) -> List[ServingRequest]:
+        """Drain every endpoint's queue now, fairly; returns completed requests.
+
+        Each endpoint's pending requests are chunked into batches of at most
+        its ``max_batch_size`` in submission order (no timeout logic — they
+        are all already here), and the batch queues drain through weighted
+        round-robin.  As on the legacy flush path, request latency is the
+        batch's service time — queueing delay is a :meth:`serve` concept.
+        """
+        queues: Dict[str, Deque[ScheduledBatch]] = {}
+        for name, pending in self._drain_pending().items():
+            endpoint = self._endpoints[name]
+            queues[name] = deque(
+                ScheduledBatch(endpoint=name, requests=pending[start:start + endpoint.max_batch_size])
+                for start in range(0, len(pending), endpoint.max_batch_size)
+            )
+        if not queues:
+            return []
+        completed: List[ServingRequest] = []
+
+        def execute(name: str, requests: List[ServingRequest]) -> float:
+            elapsed = self._endpoints[name].execute_batch(requests)
+            for request in requests:
+                request.latency_s = elapsed
+                self._endpoints[name].stats.record_latency(elapsed)
+            completed.extend(requests)
+            return elapsed
+
+        result = run_event_loop(
+            queues, self._wrr, execute, clock=VirtualClock(), stamp_latency=False
+        )
+        self._log_executions(result.execution_order)
+        return completed
+
+    def _log_executions(self, order: List[str]) -> None:
+        self.execution_log.extend(order)
+        if len(self.execution_log) > EXECUTION_LOG_LIMIT:
+            del self.execution_log[:-EXECUTION_LOG_LIMIT]
+
+    def serve(
+        self,
+        stream: Optional[Sequence[StreamItem]] = None,
+        *,
+        realtime: bool = False,
+    ) -> Dict[str, object]:
+        """Serve a timed request stream through the event-loop scheduler.
+
+        Args:
+            stream: ``(endpoint, seeds)`` or ``(endpoint, seeds, arrival_s)``
+                tuples; omitted arrivals default to 0 (a closed-loop burst).
+                ``None`` serves only what :meth:`submit` already queued.
+            realtime: drive the loop with a monotonic wall clock (admission
+                waits for real arrivals) instead of virtual time.
+
+        Per endpoint, arrivals are micro-batched under its size/timeout
+        policy; across endpoints, ready batches compete for the executor
+        under weighted round-robin.  Per-request latency = queueing + service.
+
+        Returns :meth:`report`; the admitted requests (with per-request
+        results and latencies) are kept in :attr:`last_served`, stream order.
+        """
+        # Requests admitted before this call complete first, so none are
+        # left behind (same contract as the legacy engine).
+        self.flush()
+        self.last_served = []
+        per_endpoint: Dict[str, List[ServingRequest]] = {}
+        for item in stream or []:
+            if len(item) == 2:
+                endpoint_name, seeds = item
+                arrival_s = 0.0
+            else:
+                endpoint_name, seeds, arrival_s = item
+            request = self.endpoint(endpoint_name).make_request(seeds, arrival_s)
+            self.last_served.append(request)
+            per_endpoint.setdefault(endpoint_name, []).append(request)
+
+        queues: Dict[str, Deque[ScheduledBatch]] = {}
+        for name in self._endpoints:  # registration order fixes WRR tie-breaks
+            if name not in per_endpoint:
+                continue
+            endpoint = self._endpoints[name]
+            queues[name] = deque(partition_into_batches(
+                per_endpoint[name], name, endpoint.max_batch_size, endpoint.batch_timeout_s
+            ))
+        if queues:
+            def execute(name: str, requests: List[ServingRequest]) -> float:
+                return self._endpoints[name].execute_batch(requests)
+
+            def on_complete(name: str, requests: List[ServingRequest], finish_s: float) -> None:
+                for request in requests:
+                    self._endpoints[name].stats.record_latency(request.latency_s)
+
+            clock = MonotonicClock() if realtime else VirtualClock()
+            result = run_event_loop(queues, self._wrr, execute, clock=clock, on_complete=on_complete)
+            self._log_executions(result.execution_order)
+        return self.report()
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        """Restart telemetry on every endpoint (warm arenas and caches stay)."""
+        for endpoint in self._endpoints.values():
+            endpoint.reset_stats()
+        self.execution_log = []
+
+    def report(self) -> Dict[str, object]:
+        """Router-level view: per-endpoint reports, aggregate, memory budget."""
+        return {
+            "endpoints": {name: endpoint.report() for name, endpoint in self._endpoints.items()},
+            "aggregate": aggregate_summary(
+                endpoint.stats for endpoint in self._endpoints.values()
+            ),
+            "arena_budget": self.budget.report(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Router(endpoints={self.endpoint_names}, budget={self.budget.capacity_bytes})"

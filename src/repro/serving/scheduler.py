@@ -1,0 +1,221 @@
+"""The serving event loop: clocks, fairness, and cross-endpoint scheduling.
+
+The router separates three concerns the legacy engine fused into one method:
+
+* **Clocks** — :class:`VirtualClock` replays a timestamped request stream in
+  virtual time (arrivals are simulated offsets; service time is still the
+  measured wall clock of sampling + execution), which keeps tests and studies
+  fast and deterministic.  :class:`MonotonicClock` runs the same loop against
+  ``time.monotonic()``, sleeping until the next admission — the "real"
+  deployment mode.  Both expose ``now`` / ``advance_to`` / ``advance_by`` so
+  the loop is clock-agnostic.
+
+* **Batching** — :func:`partition_into_batches` applies the micro-batching
+  policy of *one* endpoint to its (arrival-sorted) stream: a batch closes
+  when it reaches ``max_batch_size`` (ready at its last member's arrival) or
+  when admitting the next request would make the batch's oldest member wait
+  longer than ``batch_timeout_s`` (ready when that window expires).  This is
+  exactly the legacy ``ServingEngine.serve`` rule, factored out so every
+  endpoint batches independently of its neighbours.
+
+* **Fairness** — :class:`WeightedRoundRobin` implements smooth WRR (the
+  nginx algorithm): each ready endpoint accumulates its weight, the largest
+  accumulator wins the executor slot, and the winner is debited by the total
+  active weight.  A weight-3 endpoint gets ~3 of every 4 contended slots,
+  interleaved (A A B A, not A A A B), and a weight-1 endpoint is never
+  starved.
+
+:func:`run_event_loop` ties them together: admit whichever batches are ready
+at the current clock, pick among them by WRR, execute, advance the clock by
+the measured service time, repeat.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Mapping, Optional, Sequence
+
+from repro.serving.endpoint import ServingRequest
+
+
+class VirtualClock:
+    """Simulated time: starts at 0, advances only when told to."""
+
+    def __init__(self, start_s: float = 0.0):
+        self._now = float(start_s)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, when_s: float) -> None:
+        """Jump forward to ``when_s`` (never backwards)."""
+        self._now = max(self._now, float(when_s))
+
+    def advance_by(self, seconds: float) -> None:
+        """Account measured service time against the virtual clock."""
+        self._now += max(0.0, float(seconds))
+
+
+class MonotonicClock:
+    """Real time relative to construction, backed by ``time.monotonic()``.
+
+    ``advance_to`` sleeps until the target; ``advance_by`` is a no-op because
+    real service time has already elapsed by the time it is called.
+    """
+
+    def __init__(self):
+        self._origin = time.monotonic()
+
+    def now(self) -> float:
+        return time.monotonic() - self._origin
+
+    def advance_to(self, when_s: float) -> None:
+        delay = when_s - self.now()
+        if delay > 0:
+            time.sleep(delay)
+
+    def advance_by(self, seconds: float) -> None:
+        pass
+
+
+class WeightedRoundRobin:
+    """Smooth weighted round-robin over named participants.
+
+    Deterministic: ties break by registration order, and the accumulated
+    credit of an idle participant carries over, so a low-weight endpoint that
+    waited through a burst is served promptly once ready.
+    """
+
+    def __init__(self):
+        self._weights: Dict[str, int] = {}
+        self._credit: Dict[str, float] = {}
+
+    def register(self, name: str, weight: int) -> None:
+        if not isinstance(weight, int) or weight < 1:
+            raise ValueError(f"scheduler weight for {name!r} must be an integer >= 1")
+        self._weights[name] = weight
+        self._credit.setdefault(name, 0.0)
+
+    def weight(self, name: str) -> int:
+        return self._weights[name]
+
+    def pick(self, ready: Sequence[str]) -> str:
+        """The next participant to run, among those currently ready."""
+        if not ready:
+            raise ValueError("pick() needs at least one ready participant")
+        for name in ready:
+            if name not in self._weights:
+                raise KeyError(f"unregistered scheduler participant {name!r}")
+        for name in ready:
+            self._credit[name] += self._weights[name]
+        # max() keeps the first maximum; `ready` arrives in registration
+        # order from the router, so ties resolve deterministically.
+        chosen = max(ready, key=lambda name: self._credit[name])
+        self._credit[chosen] -= sum(self._weights[name] for name in ready)
+        return chosen
+
+
+@dataclass
+class ScheduledBatch:
+    """One endpoint's micro-batch plus the time it becomes schedulable."""
+
+    endpoint: str
+    requests: List[ServingRequest]
+    ready_s: float = 0.0
+
+
+def partition_into_batches(
+    requests: Sequence[ServingRequest],
+    endpoint: str,
+    max_batch_size: int,
+    batch_timeout_s: float,
+) -> List[ScheduledBatch]:
+    """Split one endpoint's request stream into timed micro-batches.
+
+    ``requests`` must belong to one endpoint; they are sorted by arrival
+    here.  The rule matches the legacy engine exactly (see module docstring),
+    so a one-endpoint router reproduces the seed batching bit for bit.
+    """
+    ordered = sorted(requests, key=lambda request: request.arrival_s)
+    batches: List[ScheduledBatch] = []
+    index = 0
+    while index < len(ordered):
+        batch = [ordered[index]]
+        window_end = ordered[index].arrival_s + batch_timeout_s
+        index += 1
+        while (
+            index < len(ordered)
+            and len(batch) < max_batch_size
+            and ordered[index].arrival_s <= window_end
+        ):
+            batch.append(ordered[index])
+            index += 1
+        ready = batch[-1].arrival_s if len(batch) == max_batch_size else window_end
+        batches.append(ScheduledBatch(endpoint=endpoint, requests=batch, ready_s=ready))
+    return batches
+
+
+@dataclass
+class EventLoopResult:
+    """What one :func:`run_event_loop` call did, for reports and tests."""
+
+    execution_order: List[str] = field(default_factory=list)
+    completed: List[ServingRequest] = field(default_factory=list)
+    final_clock_s: float = 0.0
+
+
+def run_event_loop(
+    queues: Mapping[str, Deque[ScheduledBatch]],
+    wrr: WeightedRoundRobin,
+    execute: Callable[[str, List[ServingRequest]], float],
+    clock=None,
+    on_complete: Optional[Callable[[str, List[ServingRequest], float], None]] = None,
+    stamp_latency: bool = True,
+) -> EventLoopResult:
+    """Drain per-endpoint batch queues through one shared executor.
+
+    Args:
+        queues: endpoint name → FIFO of :class:`ScheduledBatch` (each queue
+            must be internally arrival-ordered; iteration order of the
+            mapping defines WRR tie-breaking).
+        wrr: the fairness policy (every queue's endpoint must be registered).
+        execute: ``(endpoint, requests) -> measured service seconds``.
+        clock: a :class:`VirtualClock` (default) or :class:`MonotonicClock`.
+        on_complete: called after each batch with ``(endpoint, requests,
+            finish_s)``; per-request latency is already set to
+            ``finish_s - arrival_s`` when it runs.
+        stamp_latency: set each request's ``latency_s`` to queueing + service
+            (``finish_s - arrival_s``).  The flush path passes ``False`` —
+            its contract is service time only, stamped by its executor.
+    """
+    clock = clock if clock is not None else VirtualClock()
+    result = EventLoopResult()
+    live: Dict[str, Deque[ScheduledBatch]] = {
+        name: queue if isinstance(queue, deque) else deque(queue)
+        for name, queue in queues.items()
+        if queue
+    }
+    while live:
+        now = clock.now()
+        ready = [name for name, queue in live.items() if queue[0].ready_s <= now]
+        if not ready:
+            clock.advance_to(min(queue[0].ready_s for queue in live.values()))
+            continue
+        name = wrr.pick(ready)
+        batch = live[name].popleft()
+        if not live[name]:
+            del live[name]
+        elapsed = execute(name, batch.requests)
+        clock.advance_by(elapsed)
+        finish = clock.now()
+        if stamp_latency:
+            for request in batch.requests:
+                request.latency_s = finish - request.arrival_s
+        result.execution_order.append(name)
+        result.completed.extend(batch.requests)
+        if on_complete is not None:
+            on_complete(name, batch.requests, finish)
+    result.final_clock_s = clock.now()
+    return result

@@ -1,17 +1,18 @@
-"""Serving telemetry: per-batch records and engine-level summaries.
+"""Serving telemetry: per-batch records, endpoint summaries, aggregate views.
 
 The ROADMAP's serving goal is characterised the way HPC platform studies
 characterise hardware: not one number, but throughput, latency percentiles,
-batch occupancy, and reuse rates (plan replays, arena-pool hits) reported
-together so regressions in any one dimension are visible.
+batch occupancy, and reuse rates (plan replays, arena hits, block-cache hits)
+reported together so regressions in any one dimension are visible.  With the
+multi-tenant router, telemetry comes in two scopes: one
+:class:`EngineStats` per endpoint, and :func:`aggregate_summary` pooling
+every endpoint's records into the router-level view.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
-
-import numpy as np
+from typing import Dict, Iterable, List, Optional, Sequence
 
 
 @dataclass
@@ -25,25 +26,49 @@ class BatchRecord:
     sample_seconds: float
     execute_seconds: float
     plan_replayed: Optional[bool] = None
+    block_cache_hit: Optional[bool] = None
 
     @property
     def total_seconds(self) -> float:
         return self.sample_seconds + self.execute_seconds
 
 
-def percentile(values: List[float], q: float) -> float:
-    """The q-th percentile (0..100) of a list; 0.0 when empty."""
-    if not values:
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (0..100) of a sequence, by linear interpolation.
+
+    Well-defined for *every* history length: an empty history yields ``0.0``
+    (there is nothing to summarise), a single record yields that record, and
+    ``q`` is clamped into [0, 100] — no index can ever fall outside the
+    sorted data.  Matches ``numpy.percentile``'s default (linear) method on
+    longer histories.
+    """
+    data = sorted(float(v) for v in values)
+    if not data:
         return 0.0
-    return float(np.percentile(values, q))
+    if len(data) == 1:
+        return data[0]
+    q = min(max(float(q), 0.0), 100.0)
+    rank = (len(data) - 1) * (q / 100.0)
+    low = int(rank)
+    high = min(low + 1, len(data) - 1)
+    fraction = rank - low
+    return data[low] * (1.0 - fraction) + data[high] * fraction
 
 
 @dataclass
 class EngineStats:
-    """Accumulated serving telemetry of one engine."""
+    """Accumulated serving telemetry of one engine or endpoint.
+
+    ``arena`` optionally references the owner's arena counters — an
+    :class:`~repro.runtime.planner.ArenaPoolStats` or a
+    :class:`~repro.runtime.planner.TenantArenaSource` (both expose
+    hits/misses/evictions/hit_rate) — so :meth:`report` can surface memory
+    reuse next to throughput without the caller stitching dicts together.
+    """
 
     batches: List[BatchRecord] = field(default_factory=list)
     request_latencies: List[float] = field(default_factory=list)
+    arena: Optional[object] = None
 
     # ------------------------------------------------------------------
     def record_batch(self, record: BatchRecord) -> None:
@@ -109,3 +134,41 @@ class EngineStats:
             "latency_p95_ms": round(self.latency_percentile(95) * 1e3, 3),
             "plan_replay_rate": self.plan_replay_rate,
         }
+
+    def report(self) -> Dict[str, object]:
+        """:meth:`summary` plus the attached arena hit/miss/eviction counters."""
+        out = self.summary()
+        if self.arena is not None:
+            out["arena_hits"] = int(self.arena.hits)
+            out["arena_misses"] = int(self.arena.misses)
+            out["arena_evictions"] = int(self.arena.evictions)
+            out["arena_pool_hit_rate"] = round(float(self.arena.hit_rate), 3)
+        return out
+
+
+def aggregate_summary(stats: Iterable[EngineStats]) -> Dict[str, object]:
+    """Pool several endpoints' records into one router-level summary.
+
+    Throughput here is total requests over the *sum* of busy seconds — the
+    endpoints share one executor, so their service times accumulate rather
+    than overlap — and latency percentiles are computed over the pooled
+    per-request latencies.
+    """
+    stats = list(stats)
+    requests = sum(s.num_requests for s in stats)
+    batches = sum(s.num_batches for s in stats)
+    seeds = sum(s.num_seeds for s in stats)
+    busy = sum(s.total_seconds for s in stats)
+    latencies: List[float] = []
+    for s in stats:
+        latencies.extend(s.request_latencies)
+    return {
+        "endpoints": len(stats),
+        "requests": requests,
+        "batches": batches,
+        "mean_occupancy": round(requests / batches, 2) if batches else 0.0,
+        "throughput_rps": round(requests / busy, 1) if busy > 0 else 0.0,
+        "seeds_per_s": round(seeds / busy, 1) if busy > 0 else 0.0,
+        "latency_p50_ms": round(percentile(latencies, 50) * 1e3, 3),
+        "latency_p95_ms": round(percentile(latencies, 95) * 1e3, 3),
+    }

@@ -155,11 +155,18 @@ class TestTelemetry:
         engine = _engine(graph, features, max_batch_size=4)
         engine.query([1, 2, 3])
         assert engine.stats.num_batches == 1 and engine.plan_replays == 1
-        pool_lookups = engine.module.arena_pool.stats.lookups
+        # The shim's arenas live in its router's shared budget (the module's
+        # own pool is unused); warm slabs must survive a telemetry reset.
+        budget = engine.router.budget
+        misses_before = budget.tenant_stats("default").misses
+        assert misses_before >= 1 and budget.live_arenas >= 1
         engine.reset_stats()
         assert engine.stats.num_batches == 0
         assert engine.plan_replays == 0 and engine.plan_recompiles == 0
-        assert engine.module.arena_pool.stats.lookups == pool_lookups
+        assert budget.live_arenas >= 1
+        engine.query([1, 2, 3])
+        # Same-bucket re-query leases the warm arena: no new build.
+        assert budget.tenant_stats("default").misses == misses_before
 
     def test_serve_flushes_previously_submitted_requests_first(self, graph, features):
         engine = _engine(graph, features, max_batch_size=4)
@@ -202,3 +209,60 @@ class TestTelemetry:
         ))
         assert stats.requests_per_second == pytest.approx(2.0)
         assert stats.plan_replay_rate == 1.0
+
+
+class TestStatsRobustness:
+    """Percentile helpers must be total: any history length, any q."""
+
+    def test_percentiles_well_defined_for_zero_and_one_record(self):
+        for q in (0, 0.1, 50, 95, 99.9, 100):
+            assert percentile([], q) == 0.0
+            assert percentile([3.5], q) == 3.5
+        stats = EngineStats()
+        assert stats.latency_percentile(95) == 0.0
+        stats.record_latency(0.25)
+        assert stats.latency_percentile(0) == 0.25
+        assert stats.latency_percentile(100) == 0.25
+        summary = stats.summary()  # must not raise on a 1-record history
+        assert summary["latency_p95_ms"] == pytest.approx(250.0)
+
+    def test_out_of_range_q_is_clamped_not_an_index_error(self):
+        assert percentile([1.0, 2.0], 150) == 2.0
+        assert percentile([1.0, 2.0], -10) == 1.0
+
+    def test_percentile_matches_numpy_on_longer_histories(self):
+        values = [0.5, 0.1, 0.9, 0.3, 0.7, 0.2]
+        for q in (0, 10, 25, 50, 75, 90, 100):
+            assert percentile(values, q) == pytest.approx(float(np.percentile(values, q)))
+
+    def test_report_includes_attached_arena_counters(self, graph, features):
+        engine = _engine(graph, features)
+        engine.query([1, 2, 3])
+        report = engine.stats.report()
+        for key in ("arena_hits", "arena_misses", "arena_evictions", "arena_pool_hit_rate"):
+            assert key in report, key
+        assert report["arena_misses"] >= 1
+        # Without an attachment the report is just the summary.
+        assert "arena_hits" not in EngineStats().report()
+
+
+class TestRouterShim:
+    """The legacy engine is now a thin shim over a one-endpoint Router."""
+
+    def test_engine_wraps_a_single_default_endpoint(self, graph, features):
+        engine = _engine(graph, features)
+        assert engine.router.endpoint_names == ["default"]
+        assert engine.router.endpoint("default").module is engine.module
+
+    def test_shim_matches_reference_after_reset_and_reuse(self, graph, features):
+        engine = _engine(graph, features)
+        before = engine.query(np.array([5, 80]))
+        engine.reset_stats()
+        after = engine.query(np.array([5, 80]))
+        np.testing.assert_array_equal(before, after)
+        assert engine.stats.num_batches == 1  # reset really restarted
+
+    def test_submit_time_validation_names_the_endpoint(self, graph, features):
+        engine = _engine(graph, features)
+        with pytest.raises(ValueError, match="endpoint 'default'"):
+            engine.submit([graph.num_nodes + 5])
