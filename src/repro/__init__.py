@@ -11,6 +11,11 @@ Public entry points:
 * :class:`repro.Router` (from :mod:`repro.serving`) — multi-tenant serving:
   named endpoints, async admission, event-loop scheduling with weighted
   round-robin fairness, and a shared cross-tenant arena budget.
+* :class:`repro.MinibatchTrainer` (from :mod:`repro.train`) — sampled-block
+  minibatch training: shuffled seed minibatches, per-hop or merged blocks,
+  gradient accumulation across bindings, :mod:`repro.tensor.optim` steps.
+* :class:`repro.MultiLayerModule` (from :mod:`repro.runtime`) — L-layer
+  stacks executed full-graph, over merged blocks, or layer-by-hop.
 * :mod:`repro.tensor` — the numpy autograd tensor substrate.
 * :mod:`repro.ir` — the two-level IR, passes, templates, and code generator.
 * :mod:`repro.gpu` — the analytical GPU cost model (RTX 3090 stand-in).
@@ -19,9 +24,11 @@ Public entry points:
 """
 
 from repro.frontend import CompilerOptions, compile_model, compile_program, hector_compile
+from repro.runtime import MultiLayerModule
 from repro.serving import Router, ServingEngine
+from repro.train import MinibatchTrainer
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "CompilerOptions",
@@ -30,5 +37,7 @@ __all__ = [
     "hector_compile",
     "Router",
     "ServingEngine",
+    "MinibatchTrainer",
+    "MultiLayerModule",
     "__version__",
 ]

@@ -12,6 +12,7 @@ from repro.evaluation.loc_metric import programming_effort_metric
 from repro.evaluation.autotune_study import AutotuneCell, autotune_rows, autotune_study
 from repro.evaluation.multitenant_study import multitenant_rows, multitenant_study
 from repro.evaluation.serving_study import serving_rows, serving_study
+from repro.evaluation.training_study import perhop_work_study, training_rows, training_study
 from repro.evaluation import reporting
 
 __all__ = [
@@ -34,5 +35,8 @@ __all__ = [
     "multitenant_study",
     "serving_rows",
     "serving_study",
+    "perhop_work_study",
+    "training_rows",
+    "training_study",
     "reporting",
 ]

@@ -39,6 +39,7 @@ from repro.frontend.config import CompilerOptions
 from repro.graph.generators import random_features, random_hetero_graph
 from repro.graph.hetero_graph import HeteroGraph
 from repro.serving.router import Router
+from repro.evaluation.reporting import format_markdown_table
 
 #: The three tenants: (endpoint name, model, priority, fanouts) — HGT is the
 #: heavy tenant (largest graph, most expensive kernels, and a *two*-hop
@@ -286,17 +287,6 @@ def multitenant_rows(study: Dict[str, object]) -> List[Dict[str, object]]:
     return list(study["rows"])
 
 
-def _markdown_table(rows: List[Dict[str, object]]) -> str:
-    columns = list(rows[0].keys())
-    lines = [
-        "| " + " | ".join(columns) + " |",
-        "| " + " | ".join("---" for _ in columns) + " |",
-    ]
-    for row in rows:
-        lines.append("| " + " | ".join(str(row.get(column, "-")) for column in columns) + " |")
-    return "\n".join(lines)
-
-
 def main(argv: Optional[List[str]] = None) -> None:
     """CLI entry point; ``--markdown`` targets the CI job summary."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -315,7 +305,7 @@ def main(argv: Optional[List[str]] = None) -> None:
     if args.markdown:
         print("### Multi-tenant serving — 3 endpoints, one shared arena budget")
         print()
-        print(_markdown_table(multitenant_rows(study)))
+        print(format_markdown_table(multitenant_rows(study)))
         print()
         aggregate = study["aggregate"]
         print(f"**Consolidated throughput: {aggregate['throughput_rps']} rps — "

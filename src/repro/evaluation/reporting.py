@@ -5,6 +5,22 @@ from __future__ import annotations
 from typing import Iterable, List, Mapping, Optional, Sequence
 
 
+def format_markdown_table(rows: Sequence[Mapping[str, object]]) -> str:
+    """Render dict rows as a GitHub-flavoured markdown table.
+
+    Used by the study CLIs' ``--markdown`` mode targeting
+    ``$GITHUB_STEP_SUMMARY``; columns come from the first row's keys.
+    """
+    columns = list(rows[0].keys())
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "| " + " | ".join("---" for _ in columns) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(row.get(column, "-")) for column in columns) + " |")
+    return "\n".join(lines)
+
+
 def format_table(rows: Sequence[Mapping[str, object]], columns: Optional[Sequence[str]] = None,
                  title: Optional[str] = None, float_format: str = "{:.3g}") -> str:
     """Render a list of dict rows as an aligned plain-text table.

@@ -21,6 +21,7 @@ from repro.frontend.config import CompilerOptions
 from repro.graph.generators import random_features, random_hetero_graph
 from repro.graph.hetero_graph import HeteroGraph
 from repro.serving.engine import ServingEngine
+from repro.evaluation.reporting import format_markdown_table
 
 
 def default_serving_graph(seed: int = 17) -> HeteroGraph:
@@ -130,17 +131,6 @@ def serving_rows(study: Dict[str, object]) -> List[Dict[str, object]]:
     return list(study["rows"])
 
 
-def _markdown_table(rows: List[Dict[str, object]]) -> str:
-    columns = list(rows[0].keys())
-    lines = [
-        "| " + " | ".join(columns) + " |",
-        "| " + " | ".join("---" for _ in columns) + " |",
-    ]
-    for row in rows:
-        lines.append("| " + " | ".join(str(row.get(column, "-")) for column in columns) + " |")
-    return "\n".join(lines)
-
-
 def main(argv: Optional[List[str]] = None) -> None:
     """CLI entry point; ``--markdown`` targets the CI job summary."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -161,7 +151,7 @@ def main(argv: Optional[List[str]] = None) -> None:
     if args.markdown:
         print(f"### Serving throughput — {study['model']} on {study['graph']}")
         print()
-        print(_markdown_table(rows))
+        print(format_markdown_table(rows))
         print()
         print(f"**Micro-batch speedup over batch-1: {study['speedup']}×** "
               f"(zero recompiles: {study['zero_recompiles']})")

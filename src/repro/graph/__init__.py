@@ -23,7 +23,13 @@ from repro.graph.hetero_graph import HeteroGraph
 from repro.graph.adjacency import COOAdjacency, CSRAdjacency, SegmentPointers
 from repro.graph.compaction import CompactionIndex, build_compaction_index
 from repro.graph.schema import GraphSchema
-from repro.graph.sampler import MinibatchBlock, NeighborSampler, sample_block
+from repro.graph.sampler import (
+    HopBlock,
+    MinibatchBlock,
+    NeighborSampler,
+    hop_gather_indices,
+    sample_block,
+)
 from repro.graph.datasets import (
     DATASETS,
     DatasetStats,
@@ -37,8 +43,10 @@ __all__ = [
     "HeteroGraph",
     "GraphSchema",
     "MinibatchBlock",
+    "HopBlock",
     "NeighborSampler",
     "sample_block",
+    "hop_gather_indices",
     "COOAdjacency",
     "CSRAdjacency",
     "SegmentPointers",

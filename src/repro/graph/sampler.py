@@ -20,12 +20,25 @@ sampling):
 
 * hop 1 draws at most ``fanouts[0]`` incoming edges per (seed, relation);
   hop ``k`` repeats from the nodes hop ``k-1`` reached;
-* a node's incoming neighborhood is drawn once per ``sample`` call — if the
-  frontier revisits a node, the memoised draw is reused, so per-relation
-  in-degrees in the block never exceed the fanout cap;
+* a node's incoming neighborhood is drawn once per *epoch* (and once per
+  merged ``sample`` call, whichever hop reaches it first) — revisits reuse
+  the memoised draw, so per-relation in-degrees in a block never exceed the
+  cap of the hop that drew the node, and an epoch's neighborhoods are
+  internally consistent across minibatches;
+* :meth:`NeighborSampler.resample` starts a new epoch: the draw memo is
+  cleared and the RNG is reseeded from ``(seed, epoch)``, so epochs draw
+  *different* neighborhoods while any epoch is exactly reproducible from the
+  base seed (the per-epoch stream does not depend on how many draws earlier
+  epochs made);
 * ``fanout=None`` keeps the full neighborhood, in which case every seed's
   one-hop aggregation over the block is *exact*: it matches the full-graph
   computation restricted to the seeds (the property the sampler tests pin).
+
+Besides the merged block, :meth:`NeighborSampler.sample_blocks` emits one
+block *per hop* (outermost hop first), the message-flow-graph form multilayer
+models execute layer-by-hop: layer ``l`` of an ``L``-layer model runs over
+``blocks[l-1]`` and only the rows of the next block's nodes survive the hop
+boundary, so deep layers stop paying full-frontier aggregation cost.
 """
 
 from __future__ import annotations
@@ -99,6 +112,52 @@ class MinibatchBlock:
         )
 
 
+@dataclass
+class HopBlock(MinibatchBlock):
+    """One hop of a per-hop block sequence (see :meth:`NeighborSampler.sample_blocks`).
+
+    Attributes (beyond :class:`MinibatchBlock`):
+        hop: 1-based hop index; hop 1 is the innermost (its destinations are
+            the seeds), hop ``k`` the outermost.
+        dst_nodes: parent global ids of this hop's destination frontier —
+            the nodes whose incoming neighborhoods were drawn, and therefore
+            the only rows of this hop's output that are exact.  By
+            construction ``blocks[i].dst_nodes == blocks[i+1].node_map`` in a
+            ``sample_blocks`` result (hop boundaries compose).
+        dst_positions: block-local node ids of ``dst_nodes``.
+    """
+
+    hop: int = 0
+    dst_nodes: np.ndarray = None
+    dst_positions: np.ndarray = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"HopBlock(hop={self.hop}, parent={self.parent.name!r}, "
+            f"dst={len(self.dst_nodes)}, nodes={self.num_nodes}, edges={self.num_edges}, "
+            f"fanouts={self.fanouts})"
+        )
+
+
+def hop_gather_indices(outer: MinibatchBlock, inner: MinibatchBlock) -> np.ndarray:
+    """Positions of ``inner``'s nodes inside ``outer``'s node order.
+
+    The hop-boundary map of layer-by-hop execution: rows of a matrix shaped
+    like ``outer``'s nodes, gathered with the returned indices, line up with
+    ``inner``'s nodes.  Requires ``inner``'s node set to be a subset of
+    ``outer``'s (true for adjacent blocks of one ``sample_blocks`` result,
+    where ``inner.node_map == outer.dst_nodes``).
+    """
+    indices = np.searchsorted(outer.node_map, inner.node_map)
+    indices = np.minimum(indices, max(len(outer.node_map) - 1, 0))
+    if len(inner.node_map) and not np.array_equal(outer.node_map[indices], inner.node_map):
+        raise ValueError(
+            f"inner block's nodes are not a subset of the outer block's "
+            f"(outer {outer.graph.name!r}, inner {inner.graph.name!r})"
+        )
+    return indices
+
+
 class NeighborSampler:
     """K-hop incoming-neighbor sampler over one parent graph.
 
@@ -106,7 +165,16 @@ class NeighborSampler:
         graph: the parent heterogeneous graph.
         fanouts: one entry per hop; each is the max number of incoming edges
             kept per (node, relation), or ``None`` for the full neighborhood.
-        seed: RNG seed; a sampler is deterministic given (seed, call order).
+        seed: base RNG seed; a sampler is deterministic given
+            (seed, epoch, call order).
+
+    Neighborhood draws are memoised per ``(relation, destination)`` for the
+    duration of one *epoch*: every block sampled between two
+    :meth:`resample` calls sees the same drawn neighborhood for the same
+    node, so fanout caps and in-epoch determinism hold across minibatches.
+    Without an explicit epoch boundary that memo would leak across training
+    epochs — epoch 2 would train on exactly epoch 1's neighborhoods —
+    so :meth:`resample` clears it and reseeds the RNG from ``(seed, epoch)``.
     """
 
     def __init__(self, graph: HeteroGraph, fanouts: Sequence[Fanout] = (None,), seed: int = 0):
@@ -118,7 +186,17 @@ class NeighborSampler:
         self.graph = graph
         self.fanouts: Tuple[Fanout, ...] = tuple(fanouts)
         self.schema = GraphSchema.from_graph(graph)
-        self._rng = np.random.default_rng(seed)
+        self.base_seed = int(seed)
+        self.epoch = 0
+        self._rng = np.random.default_rng([self.base_seed, 0])
+        #: Epoch-scoped draw memo.  The key includes the requesting hop's
+        #: fanout so a node revisited at a hop with a *different* cap gets a
+        #: fresh draw under that cap instead of inheriting a larger one —
+        #: per-hop in-degree caps must hold hop by hop.
+        self._drawn: Dict[Tuple[CanonicalEtype, int, Fanout], np.ndarray] = {}
+        #: Draw-memo telemetry (an epoch's revisits are hits).
+        self.draw_hits = 0
+        self.draw_misses = 0
         # Per-relation incoming-edge CSR: edge positions sorted by destination,
         # so one slice yields a destination's incoming edges of that relation.
         self._in_edges: Dict[CanonicalEtype, Tuple[np.ndarray, np.ndarray]] = {}
@@ -130,8 +208,32 @@ class NeighborSampler:
             self._in_edges[etype] = (order, offsets)
 
     # ------------------------------------------------------------------
-    def sample(self, seeds) -> MinibatchBlock:
-        """Sample the block of a set of seed nodes (parent global ids)."""
+    # epochs
+    # ------------------------------------------------------------------
+    def resample(self, epoch: Optional[int] = None) -> int:
+        """Start a new sampling epoch; returns the epoch now in effect.
+
+        Clears the per-(relation, destination) draw memo and reseeds the RNG
+        from ``(base_seed, epoch)``, so the new epoch draws fresh
+        neighborhoods yet is exactly reproducible: any sampler with the same
+        base seed replays the same epoch regardless of what earlier epochs
+        sampled.  ``epoch`` defaults to the next epoch in sequence.
+        """
+        self.epoch = int(epoch) if epoch is not None else self.epoch + 1
+        self._rng = np.random.default_rng([self.base_seed, self.epoch])
+        self._drawn.clear()
+        return self.epoch
+
+    set_epoch = resample
+
+    @property
+    def draw_hit_rate(self) -> float:
+        """Fraction of neighborhood lookups served by the epoch's draw memo."""
+        lookups = self.draw_hits + self.draw_misses
+        return self.draw_hits / lookups if lookups else 0.0
+
+    # ------------------------------------------------------------------
+    def _validate_seeds(self, seeds) -> np.ndarray:
         graph = self.graph
         seeds = np.asarray(seeds, dtype=np.int64).reshape(-1)
         if seeds.size == 0:
@@ -140,67 +242,146 @@ class NeighborSampler:
             raise ValueError(
                 f"seed ids must lie in [0, {graph.num_nodes}) for graph {graph.name!r}"
             )
+        return seeds
 
-        # One neighborhood draw per (relation, destination) per call: revisits
-        # reuse it, keeping per-relation in-degrees within the fanout cap.
-        drawn: Dict[Tuple[CanonicalEtype, int], np.ndarray] = {}
+    def _draw_frontier(
+        self,
+        frontier: np.ndarray,
+        fanout: Fanout,
+        kept_positions: Dict[CanonicalEtype, List[np.ndarray]],
+        call_memo: Optional[Dict] = None,
+    ) -> List[np.ndarray]:
+        """Draw every frontier node's incoming edges; returns per-relation
+        source chunks (parent global ids) of the newly kept edges."""
+        graph = self.graph
+        source_chunks: List[np.ndarray] = []
+        for etype in graph.canonical_etypes:
+            src_type, _, dst_type = etype
+            src_local, _ = graph.edges_per_relation[etype]
+            if not len(src_local):
+                continue
+            dst_offset = graph.node_type_offset(dst_type)
+            n_dst = graph.num_nodes_per_type[dst_type]
+            in_type = frontier[(frontier >= dst_offset) & (frontier < dst_offset + n_dst)]
+            if not len(in_type):
+                continue
+            positions = self._draw(etype, in_type - dst_offset, fanout, call_memo)
+            if not len(positions):
+                continue
+            kept_positions[etype].append(positions)
+            source_chunks.append(src_local[positions] + graph.node_type_offset(src_type))
+        return source_chunks
+
+    def sample(self, seeds) -> MinibatchBlock:
+        """Sample the merged block of a set of seed nodes (parent global ids).
+
+        A destination revisited at a later hop reuses its first draw even
+        when the hops' fanouts differ (the per-call memo below), so merged
+        per-relation in-degrees never exceed the cap of the hop that first
+        reached the node — the block-level fanout invariant.
+        """
+        graph = self.graph
+        seeds = self._validate_seeds(seeds)
         kept_positions: Dict[CanonicalEtype, List[np.ndarray]] = {
             etype: [] for etype in graph.canonical_etypes
         }
-
+        call_memo: Dict[Tuple[CanonicalEtype, int], np.ndarray] = {}
         frontier = np.unique(seeds)
         for fanout in self.fanouts:
-            next_frontier: List[np.ndarray] = []
-            for etype in graph.canonical_etypes:
-                src_type, _, dst_type = etype
-                src_local, dst_local = graph.edges_per_relation[etype]
-                if not len(src_local):
-                    continue
-                dst_offset = graph.node_type_offset(dst_type)
-                n_dst = graph.num_nodes_per_type[dst_type]
-                in_type = frontier[
-                    (frontier >= dst_offset) & (frontier < dst_offset + n_dst)
-                ]
-                if not len(in_type):
-                    continue
-                positions = self._draw(etype, in_type - dst_offset, fanout, drawn)
-                if not len(positions):
-                    continue
-                kept_positions[etype].append(positions)
-                next_frontier.append(
-                    src_local[positions] + graph.node_type_offset(src_type)
-                )
+            source_chunks = self._draw_frontier(frontier, fanout, kept_positions, call_memo)
             frontier = (
-                np.unique(np.concatenate(next_frontier))
-                if next_frontier
+                np.unique(np.concatenate(source_chunks))
+                if source_chunks
                 else np.zeros(0, dtype=np.int64)
             )
             if not len(frontier):
                 break
-
         return self._compact(seeds, kept_positions)
+
+    def sample_blocks(self, seeds) -> List[HopBlock]:
+        """Sample one block per hop, outermost hop first.
+
+        Returns ``[Block_hop_k, ..., Block_hop_1]`` where hop 1's destination
+        frontier is the seed set and hop ``i+1``'s destination frontier is the
+        *entire node set* of hop ``i``'s block — so layer ``l`` of an
+        ``L``-layer model (``L == k``) executes over ``blocks[l-1]`` and
+        computes exact rows precisely for the nodes layer ``l+1`` reads:
+
+        * ``blocks[i].dst_nodes == blocks[i+1].node_map`` (hop boundaries
+          compose), and ``blocks[-1].dst_nodes`` is the deduplicated seed set;
+        * each hop's per-relation in-degrees respect that hop's fanout;
+        * every hop preserves the parent's full relation vocabulary, so edge
+          type ids keep indexing the same per-relation weights.
+
+        Draws share the epoch's memo with :meth:`sample`: within one epoch
+        and under a uniform per-hop fanout, the outermost per-hop block and
+        the merged k-hop block of the same seeds contain exactly the same
+        edges, which is what makes per-hop vs merged aggregation-work
+        comparisons edge-for-edge fair.
+        """
+        graph = self.graph
+        seeds = self._validate_seeds(seeds)
+        hops: List[HopBlock] = []
+        dst_frontier = np.unique(seeds)
+        for hop_index, fanout in enumerate(self.fanouts, start=1):
+            kept_positions: Dict[CanonicalEtype, List[np.ndarray]] = {
+                etype: [] for etype in graph.canonical_etypes
+            }
+            self._draw_frontier(dst_frontier, fanout, kept_positions)
+            block = self._compact(seeds, kept_positions, required_nodes=dst_frontier)
+            dst_positions = np.searchsorted(block.node_map, dst_frontier)
+            hops.append(HopBlock(
+                graph=block.graph,
+                parent=block.parent,
+                node_map=block.node_map,
+                seeds=block.seeds,
+                seed_positions=block.seed_positions,
+                fanouts=(fanout,),
+                hop=hop_index,
+                dst_nodes=dst_frontier,
+                dst_positions=dst_positions,
+            ))
+            dst_frontier = block.node_map
+        return list(reversed(hops))
 
     def _draw(
         self,
         etype: CanonicalEtype,
         dst_locals: np.ndarray,
         fanout: Fanout,
-        drawn: Dict[Tuple[CanonicalEtype, int], np.ndarray],
+        call_memo: Optional[Dict] = None,
     ) -> np.ndarray:
-        """Edge positions (relation-local) sampled for these destinations."""
+        """Edge positions (relation-local) sampled for these destinations.
+
+        ``call_memo`` (merged sampling) pins one draw per ``(etype, dst)``
+        for the whole call regardless of per-hop fanouts; the epoch memo is
+        keyed by fanout so per-hop blocks under *different* caps never
+        inherit a larger hop's draw.
+        """
         order, offsets = self._in_edges[etype]
         chunks: List[np.ndarray] = []
         for dst in dst_locals.tolist():
-            key = (etype, dst)
-            picked = drawn.get(key)
+            if call_memo is not None and (etype, dst) in call_memo:
+                self.draw_hits += 1
+                picked = call_memo[(etype, dst)]
+                if len(picked):
+                    chunks.append(picked)
+                continue
+            key = (etype, dst, fanout)
+            picked = self._drawn.get(key)
             if picked is None:
+                self.draw_misses += 1
                 incoming = order[offsets[dst]:offsets[dst + 1]]
                 if fanout is not None and len(incoming) > fanout:
                     picked = self._rng.choice(incoming, size=fanout, replace=False)
                     picked.sort()
                 else:
                     picked = incoming
-                drawn[key] = picked
+                self._drawn[key] = picked
+            else:
+                self.draw_hits += 1
+            if call_memo is not None:
+                call_memo[(etype, dst)] = picked
             if len(picked):
                 chunks.append(picked)
         if not chunks:
@@ -212,8 +393,14 @@ class NeighborSampler:
         self,
         seeds: np.ndarray,
         kept_positions: Dict[CanonicalEtype, List[np.ndarray]],
+        required_nodes: Optional[np.ndarray] = None,
     ) -> MinibatchBlock:
-        """Relabel the sampled nodes/edges into a schema-preserving block."""
+        """Relabel the sampled nodes/edges into a schema-preserving block.
+
+        ``required_nodes`` (parent global ids) are kept in the block even if
+        no sampled edge touches them — per-hop blocks must contain their
+        whole destination frontier so hop boundaries compose.
+        """
         graph = self.graph
 
         # Deduplicated edge positions per relation (a destination revisited
@@ -224,13 +411,20 @@ class NeighborSampler:
                 np.unique(np.concatenate(chunks)) if chunks else np.zeros(0, dtype=np.int64)
             )
 
-        # Node set per type: seeds plus every endpoint of a kept edge.
+        # Node set per type: seeds (and any required nodes) plus every
+        # endpoint of a kept edge.
         kept_locals: Dict[str, List[np.ndarray]] = {t: [] for t in graph.node_type_names}
         seed_types = np.searchsorted(graph.node_type_offsets, seeds, side="right") - 1
         for type_id, type_name in enumerate(graph.node_type_names):
             of_type = seeds[seed_types == type_id]
             if len(of_type):
                 kept_locals[type_name].append(of_type - graph.node_type_offsets[type_id])
+        if required_nodes is not None and len(required_nodes):
+            required_types = np.searchsorted(graph.node_type_offsets, required_nodes, side="right") - 1
+            for type_id, type_name in enumerate(graph.node_type_names):
+                of_type = required_nodes[required_types == type_id]
+                if len(of_type):
+                    kept_locals[type_name].append(of_type - graph.node_type_offsets[type_id])
         for etype, positions in final_positions.items():
             if not len(positions):
                 continue

@@ -5,6 +5,7 @@ from repro.runtime.context import GraphContext
 from repro.runtime.executor import PlanExecutor
 from repro.runtime.memory import MemoryModel, OutOfMemoryError
 from repro.runtime.module import CompiledRGNNModule
+from repro.runtime.multilayer import MultiLayerModule, StackRun
 from repro.runtime.planner import (
     ArenaLease,
     ArenaPool,
@@ -26,6 +27,8 @@ __all__ = [
     "MemoryModel",
     "OutOfMemoryError",
     "CompiledRGNNModule",
+    "MultiLayerModule",
+    "StackRun",
     "ArenaLease",
     "ArenaPool",
     "ArenaPoolStats",

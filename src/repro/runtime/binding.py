@@ -19,7 +19,6 @@ from typing import TYPE_CHECKING, Dict, Mapping, Optional
 import numpy as np
 
 from repro.graph.hetero_graph import HeteroGraph
-from repro.ir.inter_op.space import Space
 from repro.runtime.context import GraphContext
 from repro.runtime.executor import PlanExecutor
 from repro.runtime.planner import ArenaLease
@@ -145,8 +144,7 @@ class GraphBinding:
             env.update({k: np.asarray(v, dtype=np.float64) for k, v in extra_inputs.items()})
         plan = self.module.plan
         feature_inputs = [
-            name for name in plan.input_names
-            if plan.buffers[name].space is Space.NODE and name not in env
+            name for name in self.module.node_feature_inputs if name not in env
         ]
         for name in feature_inputs:
             env[name] = node_features
@@ -190,6 +188,28 @@ class GraphBinding:
                 parameter.grad = grad.copy()
             else:
                 parameter.grad = parameter.grad + grad
+        return grads
+
+    def input_gradients(self) -> Dict[str, np.ndarray]:
+        """Gradients w.r.t. the plan's node-feature inputs, after :meth:`backward`.
+
+        This is what chains layers: an outer layer's output rows feed an
+        inner layer's input, so the inner binding's input gradient — scattered
+        back across the hop boundary — becomes the outer binding's output
+        gradient.  Raises if no backward pass has populated them yet.
+        """
+        if self._last_env is None:
+            raise RuntimeError("input_gradients() called before forward()/backward() on this binding")
+        grads: Dict[str, np.ndarray] = {}
+        for name in self.module.node_feature_inputs:
+            grad = self._last_env.get(f"grad_{name}")
+            if grad is not None:
+                grads[name] = grad
+        if not grads:
+            raise RuntimeError(
+                "no input gradients in the environment: run backward() first "
+                "(and compile with emit_backward=True)"
+            )
         return grads
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

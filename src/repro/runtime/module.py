@@ -190,15 +190,33 @@ class CompiledRGNNModule:
         return int(sum(p.size for p in self.parameters()))
 
     @property
+    def node_feature_inputs(self) -> list:
+        """Names of the plan inputs that receive the node-feature matrix."""
+        return [
+            name for name in self.plan.input_names
+            if self.plan.buffers[name].space is Space.NODE
+        ]
+
+    @property
     def input_feature_dim(self) -> Optional[int]:
         """The in-dimension the plan's node-feature inputs expect, if uniform."""
         dims = {
             self.plan.buffers[name].feature_shape[0]
-            for name in self.plan.input_names
-            if self.plan.buffers[name].space is Space.NODE
-            and len(self.plan.buffers[name].feature_shape) == 1
+            for name in self.node_feature_inputs
+            if len(self.plan.buffers[name].feature_shape) == 1
         }
         return int(next(iter(dims))) if len(dims) == 1 else None
+
+    @property
+    def output_feature_dim(self) -> Optional[int]:
+        """The out-dimension of the plan's first output, if one-dimensional."""
+        shape = self.plan.buffers[self.plan.output_names[0]].feature_shape
+        return int(shape[-1]) if len(shape) else None
+
+    @property
+    def output_name(self) -> str:
+        """The plan's primary output buffer name."""
+        return self.plan.output_names[0]
 
     # ------------------------------------------------------------------
     # execution (delegates to the default binding)

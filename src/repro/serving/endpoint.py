@@ -241,8 +241,16 @@ class Endpoint:
         order and duplication inside a batch never fragment the cache.
         Returns ``(block, cache_hit)``; ``cache_hit`` is ``None`` when
         caching is disabled.
+
+        Serving has no training epochs, so every actual sampling advances
+        the sampler's epoch: each batch draws *fresh* neighborhoods under
+        finite fanouts (the sampler's draw memo is epoch-scoped — without
+        the resample, a hot seed set would be frozen to its first draw for
+        the process lifetime).  Reuse of sampled blocks is the block cache's
+        job, not the draw memo's.
         """
         if self.block_cache_size == 0:
+            self.sampler.resample()
             return self.sampler.sample(union_seeds), None
         key = tuple(union_seeds.tolist())
         block = self._block_cache.get(key)
@@ -251,6 +259,7 @@ class Endpoint:
             self._block_cache.move_to_end(key)
             return block, True
         self.block_cache_misses += 1
+        self.sampler.resample()
         block = self.sampler.sample(union_seeds)
         self._block_cache[key] = block
         while len(self._block_cache) > self.block_cache_size:

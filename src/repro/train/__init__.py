@@ -1,0 +1,33 @@
+"""Sampled-block minibatch training.
+
+The training counterpart of the serving layer: a
+:class:`~repro.train.trainer.MinibatchTrainer` iterates deterministic
+shuffled seed minibatches per epoch, samples each minibatch's k-hop block
+(merged, or per-hop for multi-layer stacks), binds the schema-compiled
+module to the block, accumulates gradients across bindings, and steps a
+:mod:`repro.tensor.optim` optimizer — locked down by equivalence tests
+(``tests/test_minibatch_training.py``) that pin minibatch epochs against
+full-graph training.
+"""
+
+from repro.train.objectives import (
+    OBJECTIVES,
+    Objective,
+    mean_squared_error,
+    resolve_objective,
+    softmax_cross_entropy,
+)
+from repro.train.stats import EpochStats, TrainStats
+from repro.train.trainer import OPTIMIZERS, MinibatchTrainer
+
+__all__ = [
+    "MinibatchTrainer",
+    "OPTIMIZERS",
+    "EpochStats",
+    "TrainStats",
+    "OBJECTIVES",
+    "Objective",
+    "softmax_cross_entropy",
+    "mean_squared_error",
+    "resolve_objective",
+]

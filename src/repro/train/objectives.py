@@ -1,0 +1,67 @@
+"""Training objectives over seed-row outputs.
+
+Objectives are *sum-reduced*: given the model rows of one minibatch's seeds
+and the matching targets, they return ``(loss_sum, grad)`` where ``grad`` is
+the gradient of the summed loss w.r.t. the rows.  The trainer divides by the
+seed count of the accumulation window, which makes every optimizer step a
+*mean* over its window — and makes full-window accumulation produce exactly
+the per-row gradient values full-graph mean-loss training computes (the
+division happens per row, with the same divisor, in both regimes; that is
+what the bit-identity equivalence tests rely on).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+#: ``objective(rows, targets) -> (loss_sum, grad_rows)``
+Objective = Callable[[np.ndarray, np.ndarray], Tuple[float, np.ndarray]]
+
+
+def softmax_cross_entropy(rows: np.ndarray, labels: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Summed softmax cross-entropy of logit rows against integer labels."""
+    rows = np.asarray(rows, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+    if rows.ndim != 2:
+        raise ValueError(f"logit rows must be 2-D (rows, classes), got shape {rows.shape}")
+    if labels.shape[0] != rows.shape[0]:
+        raise ValueError(f"expected {rows.shape[0]} labels, got {labels.shape[0]}")
+    if labels.min(initial=0) < 0 or labels.max(initial=0) >= rows.shape[1]:
+        raise ValueError(f"labels must lie in [0, {rows.shape[1]}) for these logits")
+    shifted = rows - rows.max(axis=1, keepdims=True)
+    log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    n = rows.shape[0]
+    loss = -log_probs[np.arange(n), labels].sum()
+    grad = np.exp(log_probs)
+    grad[np.arange(n), labels] -= 1.0
+    return float(loss), grad
+
+
+def mean_squared_error(rows: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Summed squared error of output rows against target rows."""
+    rows = np.asarray(rows, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    if rows.shape != targets.shape:
+        raise ValueError(f"rows and targets must share a shape, got {rows.shape} vs {targets.shape}")
+    difference = rows - targets
+    return float((difference ** 2).sum()), 2.0 * difference
+
+
+OBJECTIVES: Dict[str, Objective] = {
+    "cross_entropy": softmax_cross_entropy,
+    "mse": mean_squared_error,
+}
+
+
+def resolve_objective(objective) -> Objective:
+    """Accept an objective name or a callable with the objective signature."""
+    if callable(objective):
+        return objective
+    try:
+        return OBJECTIVES[objective]
+    except KeyError:
+        raise KeyError(
+            f"unknown objective {objective!r}; known: {sorted(OBJECTIVES)} (or pass a callable)"
+        ) from None

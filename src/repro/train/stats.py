@@ -1,0 +1,93 @@
+"""Training telemetry: per-epoch records and run-level summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class EpochStats:
+    """One trainer epoch's record.
+
+    Attributes:
+        epoch: the sampler epoch index this epoch trained under.
+        loss: mean loss per seed over the epoch.
+        num_seeds: seed nodes trained on (the epoch's training-set size).
+        num_minibatches: blocks sampled and executed.
+        num_steps: optimizer steps taken (accumulation windows completed).
+        seconds: wall-clock time of the epoch.
+        block_nodes / block_edges: total block sizes sampled this epoch.
+        layer_edges: per-layer aggregation work (edges each layer processed,
+            summed over minibatches); one entry for single-layer training.
+    """
+
+    epoch: int
+    loss: float
+    num_seeds: int
+    num_minibatches: int
+    num_steps: int
+    seconds: float
+    block_nodes: int = 0
+    block_edges: int = 0
+    layer_edges: List[int] = field(default_factory=list)
+
+    @property
+    def seeds_per_second(self) -> float:
+        return self.num_seeds / self.seconds if self.seconds > 0 else 0.0
+
+
+@dataclass
+class TrainStats:
+    """A training run's accumulated telemetry."""
+
+    epochs: List[EpochStats] = field(default_factory=list)
+
+    def record(self, epoch: EpochStats) -> None:
+        self.epochs.append(epoch)
+
+    @property
+    def num_epochs(self) -> int:
+        return len(self.epochs)
+
+    def loss_curve(self) -> List[float]:
+        """Mean loss per epoch, in training order."""
+        return [epoch.loss for epoch in self.epochs]
+
+    @property
+    def final_loss(self) -> Optional[float]:
+        return self.epochs[-1].loss if self.epochs else None
+
+    def summary(
+        self,
+        sampler=None,
+        arena_pools=None,
+    ) -> Dict[str, object]:
+        """Run-level report row.
+
+        Args:
+            sampler: optional :class:`~repro.graph.sampler.NeighborSampler`
+                whose draw-memo hit rate should be included.
+            arena_pools: optional iterable of arena lease sources (anything
+                with ``hits`` / ``misses`` counters — an
+                :class:`~repro.runtime.planner.ArenaPool` ``.stats`` or a
+                :class:`~repro.runtime.planner.TenantArenaSource`).
+        """
+        seconds = sum(epoch.seconds for epoch in self.epochs)
+        seeds = sum(epoch.num_seeds for epoch in self.epochs)
+        out: Dict[str, object] = {
+            "epochs": self.num_epochs,
+            "final_loss": round(self.final_loss, 6) if self.final_loss is not None else None,
+            "seeds_per_s": round(seeds / seconds, 1) if seconds > 0 else 0.0,
+            "minibatches": sum(epoch.num_minibatches for epoch in self.epochs),
+            "optimizer_steps": sum(epoch.num_steps for epoch in self.epochs),
+            "block_edges": sum(epoch.block_edges for epoch in self.epochs),
+        }
+        if sampler is not None:
+            out["sampler_hit_rate"] = round(sampler.draw_hit_rate, 3)
+        if arena_pools:
+            hits = sum(int(pool.hits) for pool in arena_pools)
+            misses = sum(int(pool.misses) for pool in arena_pools)
+            lookups = hits + misses
+            out["arena_hit_rate"] = round(hits / lookups, 3) if lookups else 0.0
+        return out

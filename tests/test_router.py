@@ -341,6 +341,27 @@ class TestBlockCache:
         assert all(record.block_cache_hit is None for record in endpoint.stats.batches)
         assert "block_cache_hit_rate" not in endpoint.report()
 
+    def test_every_sampled_batch_draws_fresh_neighborhoods(self, graph_a):
+        """Serving has no training epochs: each sampled batch advances the
+        sampler epoch, so under finite fanouts a repeated seed set is *not*
+        frozen to its first draw (block reuse is the cache's job — with the
+        cache on, hits return the cached block and skip sampling)."""
+        router = _router()
+        _register(router, "fresh", graph_a, block_cache_size=0, fanouts=(2,))
+        endpoint = router.endpoint("fresh")
+        router.query("fresh", [1, 2, 3])
+        epoch_after_first = endpoint.sampler.epoch
+        router.query("fresh", [1, 2, 3])
+        assert endpoint.sampler.epoch == epoch_after_first + 1
+
+        router = _router()
+        _register(router, "cached", graph_a, block_cache_size=4, fanouts=(2,))
+        endpoint = router.endpoint("cached")
+        router.query("cached", [1, 2, 3])
+        epoch_after_first = endpoint.sampler.epoch
+        router.query("cached", [1, 2, 3])  # cache hit: no sampling, no epoch
+        assert endpoint.sampler.epoch == epoch_after_first
+
 
 class TestMultiTenantIsolation:
     def test_mixed_stream_rows_match_isolated_serving(self, graph_a, graph_b):

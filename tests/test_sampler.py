@@ -13,7 +13,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.frontend import CompilerOptions, compile_model
-from repro.graph import NeighborSampler, random_hetero_graph, sample_block
+from repro.graph import NeighborSampler, hop_gather_indices, random_hetero_graph, sample_block
 from repro.models import MODEL_NAMES, REFERENCE_CLASSES
 
 DIM = 8
@@ -134,6 +134,183 @@ class TestBlockStructure:
             block.gather_features(np.zeros((small_graph.num_nodes - 1, 4)))
         with pytest.raises(ValueError):
             block.seed_outputs(np.zeros((block.num_nodes + 1, 4)))
+
+
+class TestPerHopBlocks:
+    """Structural contract of ``sample_blocks``: one block per hop,
+    outermost first, hop boundaries composing through the node maps."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=graph_and_seeds(),
+           fanouts=st.lists(st.one_of(st.none(), st.integers(1, 4)), min_size=1, max_size=3),
+           rng_seed=st.integers(0, 100))
+    def test_hop_boundary_node_maps_compose(self, data, fanouts, rng_seed):
+        graph, seeds = data
+        sampler = NeighborSampler(graph, fanouts=fanouts, seed=rng_seed)
+        blocks = sampler.sample_blocks(seeds)
+        assert len(blocks) == len(fanouts)
+
+        # Outermost first: hop indices count down to 1 at the seeds.
+        assert [block.hop for block in blocks] == list(range(len(fanouts), 0, -1))
+
+        # hop-k's destination set is exactly hop-(k-1)'s node set (src
+        # frontier), and the innermost destinations are the seed set.
+        for outer, inner in zip(blocks, blocks[1:]):
+            np.testing.assert_array_equal(outer.dst_nodes, inner.node_map)
+            gathered = hop_gather_indices(outer, inner)
+            np.testing.assert_array_equal(outer.node_map[gathered], inner.node_map)
+        np.testing.assert_array_equal(blocks[-1].dst_nodes, np.unique(seeds))
+
+        # dst_positions address the destination frontier inside each block.
+        for block in blocks:
+            np.testing.assert_array_equal(block.node_map[block.dst_positions], block.dst_nodes)
+            np.testing.assert_array_equal(block.node_map[block.seed_positions], seeds)
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=graph_and_seeds(),
+           fanouts=st.lists(st.integers(1, 3), min_size=2, max_size=3),
+           rng_seed=st.integers(0, 100))
+    def test_each_hop_respects_its_own_fanout(self, data, fanouts, rng_seed):
+        """Per-relation in-degrees in hop i's block never exceed fanouts[i-1],
+        even when hops use different caps (a revisited node must not carry a
+        larger earlier draw into a tighter hop)."""
+        graph, seeds = data
+        blocks = NeighborSampler(graph, fanouts=fanouts, seed=rng_seed).sample_blocks(seeds)
+        for block, fanout in zip(blocks, reversed(fanouts)):
+            assert block.fanouts == (fanout,)
+            for etype, (_, dst_local) in block.graph.edges_per_relation.items():
+                if len(dst_local):
+                    assert np.bincount(dst_local).max() <= fanout, (etype, block.hop)
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=graph_and_seeds(), fanout=st.one_of(st.none(), st.integers(1, 3)),
+           rng_seed=st.integers(0, 100))
+    def test_every_hop_preserves_the_relation_vocabulary(self, data, fanout, rng_seed):
+        """Empty relations stay, in order, so etype ids keep indexing the
+        same per-relation weights at every hop."""
+        graph, seeds = data
+        blocks = NeighborSampler(graph, fanouts=(fanout, fanout), seed=rng_seed).sample_blocks(seeds)
+        for block in blocks:
+            assert block.graph.canonical_etypes == graph.canonical_etypes
+            assert block.graph.node_type_names == graph.node_type_names
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=graph_and_seeds(), fanout=st.integers(1, 3), epoch=st.integers(0, 3))
+    def test_resampling_with_same_seed_is_deterministic_across_epochs(self, data, fanout, epoch):
+        """Two samplers with one base seed replay identical per-hop blocks
+        for any epoch, independent of what earlier epochs drew."""
+        graph, seeds = data
+        first = NeighborSampler(graph, fanouts=(fanout, fanout), seed=13)
+        second = NeighborSampler(graph, fanouts=(fanout, fanout), seed=13)
+        for earlier in range(epoch):  # first sampler also samples earlier epochs
+            first.resample(earlier)
+            first.sample_blocks(seeds)
+        first.resample(epoch)
+        second.resample(epoch)
+        for a, b in zip(first.sample_blocks(seeds), second.sample_blocks(seeds)):
+            np.testing.assert_array_equal(a.node_map, b.node_map)
+            assert a.num_edges == b.num_edges
+            for etype in graph.canonical_etypes:
+                for left, right in zip(a.graph.edges_per_relation[etype],
+                                       b.graph.edges_per_relation[etype]):
+                    np.testing.assert_array_equal(left, right)
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=graph_and_seeds(),
+           fanouts=st.lists(st.integers(1, 4), min_size=2, max_size=3),
+           rng_seed=st.integers(0, 100))
+    def test_merged_block_caps_hold_under_heterogeneous_fanouts(self, data, fanouts, rng_seed):
+        """A destination revisited at a later merged hop reuses its first
+        draw even when the hops' fanouts differ, so merged per-relation
+        in-degrees never exceed the largest configured cap."""
+        graph, seeds = data
+        block = NeighborSampler(graph, fanouts=fanouts, seed=rng_seed).sample(seeds)
+        cap = max(fanouts)
+        for etype, (_, dst_local) in block.graph.edges_per_relation.items():
+            if len(dst_local):
+                assert np.bincount(dst_local).max() <= cap, etype
+
+    def test_merged_block_equals_outermost_hop_under_uniform_fanout(self, medium_graph):
+        """Within one epoch (shared draw memo) the merged 2-hop block and the
+        outermost per-hop block contain exactly the same edges — the basis of
+        edge-for-edge per-hop vs merged work accounting."""
+        sampler = NeighborSampler(medium_graph, fanouts=(3, 3), seed=4)
+        seeds = np.array([0, 17, 55, 120, 199])
+        blocks = sampler.sample_blocks(seeds)
+        merged = sampler.sample(seeds)
+        assert blocks[0].num_edges == merged.num_edges
+        np.testing.assert_array_equal(blocks[0].node_map, merged.node_map)
+        # ... and the inner hop is a strict subset on any graph with depth.
+        assert blocks[1].num_edges <= blocks[0].num_edges
+
+
+class TestEpochResampling:
+    """The draw memo is epoch-scoped: stable within an epoch, fresh across
+    epochs, reproducible from the base seed."""
+
+    def test_draws_are_memoised_within_an_epoch(self, medium_graph):
+        sampler = NeighborSampler(medium_graph, fanouts=(2,), seed=0)
+        seeds = np.arange(0, 40)
+        first = sampler.sample(seeds)
+        hits_before = sampler.draw_hits
+        second = sampler.sample(seeds)
+        assert sampler.draw_hits > hits_before
+        np.testing.assert_array_equal(first.node_map, second.node_map)
+        for etype in medium_graph.canonical_etypes:
+            for a, b in zip(first.graph.edges_per_relation[etype],
+                            second.graph.edges_per_relation[etype]):
+                np.testing.assert_array_equal(a, b)
+
+    def test_fanout_cap_holds_across_overlapping_minibatches(self, medium_graph):
+        """Two same-epoch minibatches sharing destinations reuse one draw, so
+        the union of their blocks still respects the cap per destination."""
+        sampler = NeighborSampler(medium_graph, fanouts=(2,), seed=0)
+        block_a = sampler.sample(np.arange(0, 30))
+        block_b = sampler.sample(np.arange(15, 45))  # overlaps 15..29
+        for block in (block_a, block_b):
+            for etype, (_, dst_local) in block.graph.edges_per_relation.items():
+                if len(dst_local):
+                    assert np.bincount(dst_local).max() <= 2
+
+    def test_resample_draws_fresh_neighborhoods(self, medium_graph):
+        """Epochs must differ: without resample(), every epoch would train on
+        exactly the first epoch's neighborhoods."""
+        sampler = NeighborSampler(medium_graph, fanouts=(2,), seed=0)
+        seeds = np.arange(0, 60)
+        epoch_one = sampler.sample(seeds)
+        sampler.resample()
+        assert sampler.epoch == 1
+        epoch_two = sampler.sample(seeds)
+        assert any(
+            not np.array_equal(epoch_one.graph.edges_per_relation[etype][0],
+                               epoch_two.graph.edges_per_relation[etype][0])
+            or not np.array_equal(epoch_one.node_map, epoch_two.node_map)
+            for etype in medium_graph.canonical_etypes
+        )
+
+    def test_epochs_are_reproducible_from_the_base_seed(self, medium_graph):
+        sampler_a = NeighborSampler(medium_graph, fanouts=(2,), seed=9)
+        sampler_b = NeighborSampler(medium_graph, fanouts=(2,), seed=9)
+        seeds = np.arange(0, 50)
+        # a samples epochs 0..2; b jumps straight to epoch 2.
+        results = {}
+        for epoch in range(3):
+            sampler_a.resample(epoch)
+            results[epoch] = sampler_a.sample(seeds)
+        sampler_b.resample(2)
+        replay = sampler_b.sample(seeds)
+        np.testing.assert_array_equal(results[2].node_map, replay.node_map)
+        for etype in medium_graph.canonical_etypes:
+            for a, b in zip(results[2].graph.edges_per_relation[etype],
+                            replay.graph.edges_per_relation[etype]):
+                np.testing.assert_array_equal(a, b)
+
+    def test_draw_hit_rate_telemetry(self, medium_graph):
+        sampler = NeighborSampler(medium_graph, fanouts=(2,), seed=0)
+        assert sampler.draw_hit_rate == 0.0
+        sampler.sample(np.arange(0, 20))
+        sampler.sample(np.arange(0, 20))
+        assert 0.0 < sampler.draw_hit_rate <= 1.0
 
 
 class TestBlockExecution:
