@@ -104,6 +104,75 @@ def _assert_speedup(model, iterations):
     )
 
 
+#: Cells the codegen-backend gate may claim its speedup on: (model, nodes,
+#: edges, node types, edge types, dim).  Dispatch-bound shapes — the regime
+#: whole-plan codegen targets; at large dims both backends converge on the
+#: same numpy GEMM/scatter work and the ratio tends to 1.
+_CODEGEN_CELLS = [
+    ("rgcn", 120, 500, 3, 6, 16),
+    ("rgcn", 120, 500, 3, 6, 32),
+    ("hgt", 256, 1000, 3, 6, 32),
+]
+
+
+def _forward_throughput(module, features, iterations, repeats=7):
+    """Best per-iteration seconds over ``repeats`` timed batches."""
+    module.forward(features)  # warm: allocate arena slots, fault in pages
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            module.forward(features)
+        best = min(best, (time.perf_counter() - start) / iterations)
+    return best
+
+
+@pytest.mark.smoke
+def test_codegen_backend_speedup_over_interp():
+    """python-codegen ≥ 1.5× python-interp on at least one serving cell.
+
+    The whole-plan codegen backend exists to win the compile-once-run-many
+    path; this gate pins that win.  Best-of-N timing per backend and a max
+    over several cells keep the assertion robust to scheduler noise — the
+    claim is "the backend wins somewhere dispatch-bound", not a per-cell SLA.
+    """
+    rows = []
+    best_speedup = 0.0
+    for model, nodes, edges, ntypes, etypes, dim in _CODEGEN_CELLS:
+        graph = random_hetero_graph(
+            num_nodes=nodes, num_edges=edges, num_node_types=ntypes,
+            num_edge_types=etypes, seed=7, name="codegen-perf",
+        )
+        features = _features(graph, dim)
+        times = {}
+        outputs = {}
+        for backend in ("python-interp", "python-codegen"):
+            options = FAST_OPTIONS.with_(backend=backend, emit_backward=False)
+            module = compile_model(model, graph, in_dim=dim, out_dim=dim, options=options)
+            times[backend] = _forward_throughput(module, features, iterations=150)
+            outputs[backend] = module.forward(features)
+        for name in outputs["python-interp"]:
+            np.testing.assert_allclose(
+                outputs["python-interp"][name], outputs["python-codegen"][name], atol=1e-12
+            )
+        speedup = times["python-interp"] / times["python-codegen"]
+        best_speedup = max(best_speedup, speedup)
+        rows.append({
+            "model": model,
+            "graph": f"{nodes}n/{edges}e/{ntypes}nt/{etypes}et",
+            "dim": dim,
+            "interp_us": round(times["python-interp"] * 1e6, 1),
+            "codegen_us": round(times["python-codegen"] * 1e6, 1),
+            "speedup": round(speedup, 2),
+        })
+    print()
+    print(format_table(rows, title="Perf regression — python-codegen vs python-interp forward throughput"))
+    assert best_speedup >= 1.5, (
+        f"codegen backend regressed: best speedup {best_speedup:.2f}x < 1.5x over "
+        f"python-interp across {len(_CODEGEN_CELLS)} cells"
+    )
+
+
 def test_cache_hits_on_repeated_compilation():
     """Repeated compile_model calls reuse one compilation result."""
     clear_compilation_cache()

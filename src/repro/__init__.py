@@ -18,23 +18,34 @@ Public entry points:
   stacks executed full-graph, over merged blocks, or layer-by-hop.
 * :mod:`repro.tensor` — the numpy autograd tensor substrate.
 * :mod:`repro.ir` — the two-level IR, passes, templates, and code generator.
+* :func:`repro.get_backend` / :func:`repro.register_backend` /
+  :func:`repro.available_backends` (from :mod:`repro.ir.codegen.registry`) —
+  the pluggable execution-backend registry behind
+  ``CompilerOptions(backend=...)``: ``python-interp`` (per-kernel functions),
+  ``python-codegen`` (one specialised whole-plan source function, compiled
+  once), and ``cuda-emit`` (source emission only).
 * :mod:`repro.gpu` — the analytical GPU cost model (RTX 3090 stand-in).
 * :mod:`repro.baselines` — models of DGL, PyG, Seastar, Graphiler, and HGL.
 * :mod:`repro.evaluation` — the harness reproducing every table and figure.
 """
 
 from repro.frontend import CompilerOptions, compile_model, compile_program, hector_compile
+from repro.ir.codegen.registry import Backend, available_backends, get_backend, register_backend
 from repro.runtime import MultiLayerModule
 from repro.serving import Router, ServingEngine
 from repro.train import MinibatchTrainer
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
+    "Backend",
     "CompilerOptions",
+    "available_backends",
     "compile_model",
     "compile_program",
+    "get_backend",
     "hector_compile",
+    "register_backend",
     "Router",
     "ServingEngine",
     "MinibatchTrainer",

@@ -10,6 +10,7 @@ from repro.evaluation.sweep import dimension_sweep
 from repro.evaluation.arch_metrics import architectural_metrics
 from repro.evaluation.loc_metric import programming_effort_metric
 from repro.evaluation.autotune_study import AutotuneCell, autotune_rows, autotune_study
+from repro.evaluation.backend_study import backend_study
 from repro.evaluation.multitenant_study import multitenant_rows, multitenant_study
 from repro.evaluation.serving_study import serving_rows, serving_study
 from repro.evaluation.training_study import perhop_work_study, training_rows, training_study
@@ -31,6 +32,7 @@ __all__ = [
     "AutotuneCell",
     "autotune_rows",
     "autotune_study",
+    "backend_study",
     "multitenant_rows",
     "multitenant_study",
     "serving_rows",

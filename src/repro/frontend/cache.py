@@ -8,7 +8,10 @@ provides a process-wide :class:`CompilationCache` keyed on
 
 * a structural fingerprint of the inter-op program (operators, values,
   dimensions — not object identity),
-* the :meth:`repro.frontend.config.CompilerOptions.cache_key` tuple, and
+* the :meth:`repro.frontend.config.CompilerOptions.cache_key` tuple — which
+  includes ``options.backend``, so ``python-interp`` and ``python-codegen``
+  artefacts of one program occupy distinct entries and a backend switch can
+  never replay the other backend's generated module — and
 * optionally a graph *schema* fingerprint (node/edge type vocabulary), so
   callers that specialise per schema get distinct entries.
 

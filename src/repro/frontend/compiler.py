@@ -20,9 +20,9 @@ from typing import Callable, Dict, Optional
 from repro.frontend.cache import CompilationCache, global_compilation_cache, make_cache_key
 from repro.frontend.config import CompilerOptions
 from repro.graph.hetero_graph import HeteroGraph
-from repro.ir.codegen.cuda_backend import generate_cuda_source
 from repro.ir.codegen.host import generate_host_source
-from repro.ir.codegen.python_backend import GeneratedModule, generate_python_module
+from repro.ir.codegen.python_backend import GeneratedModule
+from repro.ir.codegen.registry import BackendOptions, get_backend
 from repro.ir.inter_op.lowering import LoweringOptions, lower_program
 from repro.ir.inter_op.passes import pipeline_for_options
 from repro.ir.inter_op.program import InterOpProgram
@@ -41,8 +41,8 @@ class CompilationResult:
     options: CompilerOptions
 
     def cuda_source(self) -> str:
-        """CUDA-like kernel source text for the plan."""
-        return generate_cuda_source(self.plan)
+        """CUDA-like kernel source text for the plan (the ``cuda-emit`` backend)."""
+        return get_backend("cuda-emit").generate(self.plan).source
 
     def host_source(self) -> str:
         """C++-like host wrapper / registration source text for the plan."""
@@ -74,12 +74,32 @@ def compile_program(
     fingerprint to the cache key (``compile_model`` passes it), so entries are
     qualified by the (program, options, schema) triple the runtime module is
     specialised for.
+
+    The executing backend is selected by ``options.backend`` through the
+    registry (:mod:`repro.ir.codegen.registry`); emit-only backends such as
+    ``cuda-emit`` are rejected here.  The backend name is part of the options
+    cache key, so interp and codegen artifacts of one program never collide,
+    and the generated module — including the codegen backend's ``exec``-compiled
+    ``main_forward``/``main_backward`` callables — is cached alongside the plan.
     """
     options = options or CompilerOptions()
     if options.is_auto:
         raise ValueError(
             "optimization_level='auto' must be resolved before compilation: use "
             "compile_model(..., tune=True) or repro.tuner.resolve_tuned_options"
+        )
+    backend = get_backend(options.backend)
+    if not backend.executes:
+        raise ValueError(
+            f"backend {backend.name!r} only emits source and cannot execute plans; "
+            f"pick an executing backend for CompilerOptions(backend=...) and read "
+            f"emitted source through CompilationResult.cuda_source() or "
+            f"get_backend({backend.name!r}).generate(plan).source"
+        )
+    if options.emit_backward and not backend.supports_training:
+        raise ValueError(
+            f"backend {backend.name!r} does not generate backward artifacts; "
+            "compile with emit_backward=False or pick a training-capable backend"
         )
     if cache is None and options.enable_compilation_cache:
         cache = global_compilation_cache()
@@ -101,7 +121,14 @@ def compile_program(
     )
     plan.name = f"{program.name}_{options.label()}"
     plan.metadata["memory_planning_enabled"] = options.enable_memory_planning
-    generated = generate_python_module(plan)
+    plan.metadata["backend"] = backend.name
+    generated = backend.generate(
+        plan,
+        BackendOptions(
+            num_edge_types=graph.num_edge_types if graph is not None else None,
+            num_node_types=graph.num_node_types if graph is not None else None,
+        ),
+    )
     result = CompilationResult(
         program=program,
         optimized_program=optimized,
@@ -130,6 +157,7 @@ def compile_model(
     tuning_db=None,
     tuning_space=None,
     measure_top_k: int = 0,
+    backend: Optional[str] = None,
 ) -> CompiledRGNNModule:
     """Compile a named model (``"rgcn"``, ``"rgat"``, ``"hgt"``) for a graph.
 
@@ -161,10 +189,15 @@ def compile_model(
         measure_top_k: when > 0, the search validates this many top-ranked
             candidates by measured wall-clock of the python backend on
             ``graph`` before declaring the winner.
+        backend: convenience override for ``options.backend`` — the name of a
+            registered executing backend (``"python-interp"``,
+            ``"python-codegen"``, or a custom registrant).
     """
     from repro.models import build_program  # local import to avoid a cycle
 
     options = options or CompilerOptions()
+    if backend is not None:
+        options = options.with_(backend=backend)
     tuning = tune or options.is_auto
     if not tuning and (tuning_db is not None or tuning_space is not None or measure_top_k):
         raise ValueError(

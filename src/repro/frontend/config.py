@@ -55,6 +55,17 @@ class CompilerOptions:
             (or :func:`repro.tuner.resolve_tuned_options`) *before*
             compilation; ``compile_program`` rejects unresolved ``"auto"``
             options.
+        backend: name of the registered execution backend
+            (:mod:`repro.ir.codegen.registry`) that turns the lowered kernel
+            plan into something runnable.  ``"python-interp"`` (default) emits
+            one Python function per kernel plus a fused dispatch program;
+            ``"python-codegen"`` emits a single specialised ``main_forward`` /
+            ``main_backward`` source function per plan — kernels inlined,
+            segment loops unrolled over the schema's relations, buffers and
+            graph index arrays resolved to function locals.  The backend is
+            part of :meth:`cache_key`, so interp and codegen artifacts never
+            collide in the compilation cache, and a searchable tuner axis
+            (:class:`repro.tuner.TuningSpace`).
     """
 
     compact_materialization: bool = False
@@ -70,6 +81,7 @@ class CompilerOptions:
     enable_memory_planning: bool = True
     fuse_elementwise: bool = False
     optimization_level: Optional[str] = None
+    backend: str = "python-interp"
 
     def __post_init__(self):
         if self.optimization_level not in (None, "auto"):
@@ -128,6 +140,8 @@ class CompilerOptions:
         ):
             suffix = "" if self.traversal_partial_aggregation else "-nopartial"
             parts.append(f"trav{self.traversal_rows_per_block}{suffix}")
+        if self.backend != "python-interp":
+            parts.append(self.backend)
         return "+".join(parts)
 
     def to_dict(self) -> dict:
@@ -163,6 +177,7 @@ class CompilerOptions:
             self.traversal_partial_aggregation,
             self.enable_memory_planning,
             self.fuse_elementwise,
+            self.backend,
         )
 
 

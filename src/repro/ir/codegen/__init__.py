@@ -1,22 +1,58 @@
 """Code generation backends (Section 3.6).
 
-* :mod:`repro.ir.codegen.python_backend` — emits executable Python/numpy
-  kernels from a :class:`repro.ir.intra_op.plan.KernelPlan`; this is the path
-  the runtime actually runs and the one validated for numerical correctness.
-* :mod:`repro.ir.codegen.cuda_backend` — emits CUDA-like source text for every
-  kernel (specialisations of the GEMM and traversal templates) plus host
-  wrapper functions; used for inspection and the programming-effort metric.
+Backends are selected through the registry in
+:mod:`repro.ir.codegen.registry` — ``get_backend(name)`` /
+``register_backend`` / ``available_backends`` — or, one level up, through
+``CompilerOptions(backend="...")``:
+
+* ``python-interp`` (:mod:`repro.ir.codegen.python_backend`) — emits one
+  executable Python/numpy function per kernel plus a fused dispatch program;
+  the default runtime path, validated for numerical correctness.
+* ``python-codegen`` (:mod:`repro.ir.codegen.codegen_backend`) — emits one
+  specialised whole-plan ``main_forward``/``main_backward`` source function
+  with kernels inlined, buffers and graph index arrays resolved to locals,
+  and segment loops unrolled over the schema's relations; bit-identical to
+  ``python-interp`` and faster on the compile-once-run-many path.
+* ``cuda-emit`` (:mod:`repro.ir.codegen.cuda_backend`) — emits CUDA-like
+  source text for every kernel (specialisations of the GEMM and traversal
+  templates); used for inspection and the programming-effort metric, never
+  executed.
 * :mod:`repro.ir.codegen.host` — emits the host-side dispatch/registration
   code text (the ``TORCH_LIBRARY_FRAGMENT``-style bindings of Figure 5).
+
+``generate_python_module`` and ``generate_cuda_source`` remain importable as
+deprecated aliases of the registry path.
 """
 
-from repro.ir.codegen.python_backend import GeneratedModule, generate_python_module
-from repro.ir.codegen.cuda_backend import generate_cuda_source
+from repro.ir.codegen.python_backend import (
+    GeneratedModule,
+    build_python_module,
+    generate_python_module,
+)
+from repro.ir.codegen.codegen_backend import build_codegen_module
+from repro.ir.codegen.cuda_backend import build_cuda_source, generate_cuda_source
 from repro.ir.codegen.host import generate_host_source
+from repro.ir.codegen.registry import (
+    Backend,
+    BackendOptions,
+    SourceModule,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 
 __all__ = [
+    "Backend",
+    "BackendOptions",
     "GeneratedModule",
-    "generate_python_module",
+    "SourceModule",
+    "available_backends",
+    "build_codegen_module",
+    "build_cuda_source",
+    "build_python_module",
     "generate_cuda_source",
     "generate_host_source",
+    "generate_python_module",
+    "get_backend",
+    "register_backend",
 ]

@@ -1,0 +1,713 @@
+"""Whole-plan Python source codegen: one specialised function per plan.
+
+The ``python-interp`` backend emits one Python function per kernel instance
+and a thin fused program that dispatches them; every serve and train step
+still pays a function call, a set of ``env`` dict lookups, and a segment loop
+per kernel.  This backend instead emits *one* specialised source function per
+compiled plan and direction — ``main_forward(env, ctx)`` /
+``main_backward(env, ctx)`` — with
+
+* every kernel body inlined in plan order (no per-kernel dispatch),
+* the graph index arrays (``ctx.edge_src``, ``ctx.etype_ptr``, …) resolved to
+  function locals once per call,
+* every buffer resolved to a function local on first use (arena-bound slots
+  included), kept in sync with ``env`` so the executor, bindings, and
+  ``module._last_env`` introspection see exactly what the interp backend
+  produces, and
+* the per-relation kernel launch loop unrolled over the schema's relations
+  when the plan is compiled against a concrete graph schema.
+
+On top of the inlining, the generator applies whole-plan rewrites that a
+per-kernel backend cannot see — each one provably bit-preserving:
+
+* **fresh-scatter specialisation** — an ``np.add.at`` whose target is known
+  all-zeros (a ``scatter_add`` output, or a gradient's first accumulation
+  site, tracked alias-aware in program order) becomes a ``np.bincount``
+  segment sum (``_scatter_fresh``), which accumulates per bin in the same
+  element order at a fraction of the cost;
+* **merged adjoint pairs** — a dgrad/wgrad pair of one GEMM shares a single
+  segment loop, deduplicating the ``rows``/``gY``/``Xg`` gathers (their
+  writes are disjoint, so per-buffer accumulation order is unchanged);
+* **merged forward projections** — adjacent forward GEMMs reading the same
+  input over the same typed segments (HGT's K/Q/V) share one loop and one
+  ``Xg`` gather per segment;
+* **static ensure inlining** — ``_ensure``/``_ensure_grad`` helper calls
+  expand to direct ``env.get`` + shape-check code (shapes are static text at
+  generation time), fusing a gradient's zero seed into its first dense
+  accumulation (``(expr) + 0.0`` ≡ ``zeros + expr`` elementwise) or
+  allocating scatter targets uninitialised when ``_scatter_fresh`` fully
+  overwrites them;
+* **lazy gradient seeding** — the backward function seeds only the zero
+  gradients it actually reads (``GeneratedModule.seeds_gradients``), so the
+  executor skips its eager per-kernel seeding loop;
+* **list-typed segment pointers** — ``etype_ptr``-style bounds are hoisted
+  as Python lists, avoiding numpy scalar boxing on every segment index.
+
+The emitted numpy operations are the interp backend's, in the same order and
+on the same values, so the two backends are bit-identical — locked down by
+the differential harness in ``tests/test_property_compiled.py``
+(``tobytes`` equality across every tuner-reachable configuration).  The
+source is compiled once with :func:`exec` and cached alongside the plan in
+the compilation cache (``CompilerOptions.backend`` is part of the cache key,
+so interp and codegen artifacts never collide).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.ir.intra_op.kernels import GemmKernel, KernelInstance
+from repro.ir.intra_op.plan import KernelPlan
+
+from repro.ir.codegen.python_backend import _PREAMBLE, GeneratedModule, _PythonKernelGenerator
+
+#: Relation counts above this are left as runtime loops: unrolling a huge
+#: type vocabulary would bloat the generated source past any dispatch saving.
+MAX_UNROLL_SEGMENTS = 32
+
+#: Extra helpers for the whole-plan functions: an ``_ensure`` variant for
+#: outputs every segment assignment fully overwrites, and a segment-sum
+#: scatter for targets known to be all-zeros at the call site.
+_CODEGEN_PREAMBLE = _PREAMBLE + '''
+
+def _ensure_out(env, name, shape):
+    """Fetch (or allocate, uninitialised) a fully-overwritten output buffer.
+
+    Mirrors ``_ensure``'s reuse decision exactly, but skips the zero fill:
+    callers guarantee every row is written before being read, so the initial
+    contents are unobservable and the fill is pure overhead.
+    """
+    if np.isscalar(shape):
+        shape = (shape,)
+    if name not in env or env[name].shape != tuple(shape):
+        env[name] = np.empty(shape, dtype=_env_dtype(env))
+    return env[name]
+
+
+def _scatter_fresh(target, idx, contrib):
+    """Scatter-add into an all-zeros target via ``np.bincount``.
+
+    ``np.bincount`` accumulates its weights sequentially — the exact
+    per-element addition order ``np.add.at`` applies — and every bin starts
+    from the same +0.0 the zero-filled target holds, so the stores below are
+    bit-identical to ``np.add.at(target, idx, contrib)`` at a fraction of the
+    cost.  Callers guarantee the target is fresh: either all-zeros or fully
+    overwritten below (the generator only emits this at a gradient's first
+    accumulation site, or onto a ``scatter_add`` output buffer).  Non-float64
+    and broadcasting scatters fall back to the ufunc path, zero-filling first
+    since the fast paths overwrite every element.
+    """
+    if (
+        target.dtype != np.float64
+        or contrib.dtype != np.float64
+        or contrib.ndim != target.ndim
+        or len(contrib) != len(idx)
+        or target.ndim > 2
+    ):
+        target[...] = 0.0
+        np.add.at(target, idx, contrib)
+        return
+    n = target.shape[0]
+    if target.ndim == 1:
+        target[...] = np.bincount(idx, weights=contrib, minlength=n)
+    elif target.shape[1] <= 4:
+        for j in range(target.shape[1]):
+            target[:, j] = np.bincount(idx, weights=contrib[:, j], minlength=n)
+    else:
+        d = target.shape[1]
+        flat_idx = (np.asarray(idx)[:, None] * d + np.arange(d)).ravel()
+        target[...] = np.bincount(
+            flat_idx, weights=contrib.ravel(), minlength=n * d
+        ).reshape(n, d)
+'''
+
+_ENSURE_STMT = re.compile(
+    r"^(\s*)([A-Za-z_]\w*) = (_ensure(?:_out)?)\(env, '([A-Za-z_]\w*)', (.*)\)$"
+)
+_ENSURE_GRAD_STMT = re.compile(r"^(\s*)_ensure_grad\(env, '([A-Za-z_]\w*)'\)$")
+_ENV_STORE = re.compile(r"^(\s*)env\['([A-Za-z_]\w*)'\] = ")
+_ENV_AUGSTORE = re.compile(r"^(\s*)env\['([A-Za-z_]\w*)'\] \+= ")
+_ENV_REF = re.compile(r"env\['([A-Za-z_]\w*)'\]")
+_SYNC_STORE = re.compile(r"env\[__sync_([A-Za-z_]\w*)\]")
+_CTX_REF = re.compile(r"ctx\.([A-Za-z_]\w*)")
+_LOCAL_TOKEN = re.compile(r"_b_[A-Za-z_]\w*")
+_SEG_PTR_STMT = re.compile(r"^(\s*)seg_ptr = _c_([A-Za-z_]\w*)$")
+_SCATTER_STMT = re.compile(r"^(\s*)np\.add\.at\(([A-Za-z_]\w*), (.+)\)$")
+_ALIAS_STMT = re.compile(r"^\s*([A-Za-z_]\w*) = (_b_[A-Za-z_]\w*)$")
+_ACCUM_STMT = re.compile(r"^\s*([A-Za-z_]\w*)(\[[^\]]*\])? (\+=|=) ")
+_ENSURE_CALL = re.compile(
+    r"^(\s*)((?:[A-Za-z_]\w* = )+)(_ensure(?:_out)?)\(env, '([A-Za-z_]\w*)', (.*)\)$"
+)
+_ENSURE_GRAD_CALL = re.compile(
+    r"^(\s*)(_b_grad_[A-Za-z_]\w*) = _ensure_grad\(env, '([A-Za-z_]\w*)'\)$"
+)
+#: Per-segment locals both halves of a dgrad/wgrad pair compute identically;
+#: the second occurrence in a merged segment body is dropped.
+_SHARED_SEG_LOCAL = re.compile(r"^\s*(rows|Xg|gY|W_t) = ")
+#: The gather locals merged forward GEMMs share (same X, same segments).
+_GATHER_LOCAL = re.compile(r"^\s*(rows|Xg) = ")
+#: A graph index array gathered through the segment's ``rows`` — computed
+#: once per merged segment when it appears more than once.
+_ROWS_INDEX = re.compile(r"_c_([A-Za-z_]\w*)\[rows\]")
+_SEGMENT_LOOP = "    for t in range(num_segments):"
+_SEGMENT_PROLOGUE = [
+    "        start, end = seg_ptr[t], seg_ptr[t + 1]",
+    "        if end <= start:",
+    "            continue",
+]
+#: The loop variable ``t`` as a standalone token — never inside an identifier
+#: or a quoted buffer name.
+_LOOP_VAR = re.compile(r"(?<![\w'])t(?![\w'])")
+
+
+def build_codegen_module(
+    plan: KernelPlan,
+    num_edge_types: Optional[int] = None,
+    num_node_types: Optional[int] = None,
+) -> GeneratedModule:
+    """Generate and compile the whole-plan ``main_forward``/``main_backward``.
+
+    This is the ``python-codegen`` registrant of the backend registry
+    (:mod:`repro.ir.codegen.registry`); prefer selecting it through
+    ``CompilerOptions(backend="python-codegen")``.
+
+    Args:
+        plan: the lowered kernel plan.
+        num_edge_types / num_node_types: relation counts of the schema the
+            plan is specialised for; when given, per-relation segment loops
+            are unrolled into straight-line code.  ``None`` (no graph at
+            compile time) keeps runtime loops.
+    """
+    generator = _WholePlanGenerator(plan, num_edge_types, num_node_types)
+    source = generator.generate()
+    namespace: Dict[str, object] = {}
+    exec(compile(source, f"<hector-codegen:{plan.name}>", "exec"), namespace)
+    return GeneratedModule(
+        source=source,
+        forward_functions={},
+        backward_functions={},
+        forward_program=namespace["main_forward"],
+        backward_program=namespace["main_backward"],
+        seeds_gradients=True,
+    )
+
+
+class _WholePlanGenerator(_PythonKernelGenerator):
+    """Rewrites the interp backend's kernel bodies into one function per pass.
+
+    The parent class owns the numpy templates; this subclass inlines their
+    emitted bodies, localises ``env``/``ctx`` accesses, and unrolls the
+    segment loops.  Sharing the templates (rather than duplicating them)
+    keeps the two backends numerically identical by construction.
+    """
+
+    def __init__(
+        self,
+        plan: KernelPlan,
+        num_edge_types: Optional[int] = None,
+        num_node_types: Optional[int] = None,
+    ):
+        super().__init__(plan)
+        self.num_edge_types = num_edge_types
+        self.num_node_types = num_node_types
+
+    # ------------------------------------------------------------------
+    def generate(self) -> str:
+        chunks = [_CODEGEN_PREAMBLE]
+        chunks.append(self._generate_main("main_forward", "forward", self.plan.forward_kernels))
+        chunks.append(self._generate_main("main_backward", "backward", self.plan.backward_kernels))
+        return "\n\n".join(chunks) + "\n"
+
+    def _generate_main(self, name: str, direction: str, kernels: Sequence[KernelInstance]) -> str:
+        specialised = "schema-unrolled" if self.num_edge_types is not None else "runtime-looped"
+        lines = [f"def {name}(env, ctx):"]
+        lines.append(
+            f'    """Whole-plan {direction} of {self.plan.name}: '
+            f'{len(kernels)} kernels inlined, {specialised}."""'
+        )
+        if not kernels:
+            lines.append("    return env")
+            return "\n".join(lines)
+        self._seg_lists: List[str] = []
+        body: List[str] = []
+        index = 0
+        while index < len(kernels):
+            kernel = kernels[index]
+            group = self._forward_merge_group(kernels, index)
+            if len(group) > 1:
+                merged = self._merge_forward_gemms(group)
+                if merged is not None:
+                    names = " + ".join(k.name for k in group)
+                    body.append(f"    # ---- {names}: merged forward segment loop ----")
+                    body.extend(self._maybe_unroll(merged, kernel))
+                    index += len(group)
+                    continue
+            if index + 1 < len(kernels) and self._is_adjoint_pair(kernel, kernels[index + 1]):
+                merged = self._merge_adjoint_pair(kernel, kernels[index + 1])
+                if merged is not None:
+                    body.append(
+                        f"    # ---- {kernel.name} + {kernels[index + 1].name}: "
+                        f"merged adjoint segment loop ----"
+                    )
+                    body.extend(self._maybe_unroll(merged, kernel))
+                    index += 2
+                    continue
+            body.append(f"    # ---- {kernel.name}: {kernel.describe()} ----")
+            body.extend(self._inline_kernel(kernel))
+            index += 1
+        body = self._specialise_fresh_scatters(body, direction)
+        body = self._inline_ensures(body)
+        ctx_attrs = self._collect_ctx_attrs(body)
+        header = [f"    _s_{attr} = ctx.{attr}.tolist()" for attr in self._seg_lists]
+        header += [f"    _c_{attr} = ctx.{attr}" for attr in ctx_attrs]
+        header += self._hoist_env_reads(body, lazy_gradients=direction == "backward")
+        lines += header + body
+        lines.append("    return env")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def _inline_kernel(self, kernel: KernelInstance) -> List[str]:
+        """One kernel's body, localised and (for GEMMs) segment-unrolled."""
+        return self._maybe_unroll(self._kernel_body(kernel), kernel)
+
+    def _kernel_body(self, kernel: KernelInstance) -> List[str]:
+        """One kernel's body, localised but not yet unrolled."""
+        raw = self._generate_kernel(kernel).splitlines()
+        # Drop the ``def`` line and the single-line docstring.
+        body = [line for line in raw[1:] if not line.lstrip().startswith('"""')]
+        if isinstance(kernel, GemmKernel) and kernel.role == "forward":
+            body = [self._use_uninitialised_output(line, kernel.y.buffer) for line in body]
+        return [self._list_seg_ptr(self._localise(line)) for line in body]
+
+    def _maybe_unroll(self, body: List[str], kernel: KernelInstance) -> List[str]:
+        count = self._segment_count(kernel)
+        if count is not None and 0 < count <= MAX_UNROLL_SEGMENTS:
+            body = self._unroll_segments(body, count)
+        return body
+
+    # ------------------------------------------------------------------
+    def _is_adjoint_pair(self, a: KernelInstance, b: KernelInstance) -> bool:
+        """Adjacent dgrad/wgrad kernels of the same forward GEMM."""
+        return (
+            isinstance(a, GemmKernel)
+            and isinstance(b, GemmKernel)
+            and a.role == "dgrad"
+            and b.role == "wgrad"
+            and a.name.endswith("_dgrad")
+            and b.name.endswith("_wgrad")
+            and a.name[: -len("_dgrad")] == b.name[: -len("_wgrad")]
+        )
+
+    def _merge_adjoint_pair(
+        self, dgrad: KernelInstance, wgrad: KernelInstance
+    ) -> Optional[List[str]]:
+        """Fuse a dgrad/wgrad pair into one segment loop sharing its gathers.
+
+        Both adjoints of one GEMM iterate the same segments of the same
+        space; the interp backend runs them as two kernels, re-slicing
+        ``rows`` and re-gathering the output gradient ``gY`` per segment.
+        Their writes are disjoint (``grad_X`` vs ``grad_W``) and neither
+        reads what the other writes, so interleaving the segment bodies —
+        with the duplicate ``rows``/``gY``/``Xg`` assignments dropped —
+        produces every buffer's accumulations in the original order,
+        bit-identically, minus one full gather per segment.
+        """
+        body_d = self._kernel_body(dgrad)
+        body_w = self._kernel_body(wgrad)
+        if self._segment_count(dgrad) != self._segment_count(wgrad):
+            return None
+        try:
+            loop_d = body_d.index(_SEGMENT_LOOP)
+            loop_w = body_w.index(_SEGMENT_LOOP)
+        except ValueError:
+            return None
+        if (
+            body_d[loop_d + 1 : loop_d + 4] != _SEGMENT_PROLOGUE
+            or body_w[loop_w + 1 : loop_w + 4] != _SEGMENT_PROLOGUE
+        ):
+            return None
+        pre_d = body_d[:loop_d]
+        pre_w = [line for line in body_w[:loop_w] if line not in pre_d]
+        seg_d = body_d[loop_d + 4 :]
+        seg_w = [
+            line
+            for line in body_w[loop_w + 4 :]
+            if not (line in seg_d and _SHARED_SEG_LOCAL.match(line))
+        ]
+        merged_seg = self._cse_rows_indexes(seg_d + seg_w)
+        return pre_d + pre_w + [_SEGMENT_LOOP] + _SEGMENT_PROLOGUE + merged_seg
+
+    def _forward_merge_group(
+        self, kernels: Sequence[KernelInstance], index: int
+    ) -> List[KernelInstance]:
+        """Maximal run of adjacent forward GEMMs over the same X and segments.
+
+        HGT-style models project one feature through several weights
+        (K/Q/V); the interp backend runs one kernel — one segment loop, one
+        ``Xg`` gather — per projection.  Adjacent forward GEMMs reading the
+        same untouched input over the same typed space can share one loop.
+        """
+        first = kernels[index]
+        group = [first]
+        if (
+            not isinstance(first, GemmKernel)
+            or first.role != "forward"
+            or first.type_selector == "none"
+        ):
+            return group
+        outputs = {first.y.buffer}
+        reads = {first.x.buffer, first.weight.buffer}
+        while index + len(group) < len(kernels):
+            nxt = kernels[index + len(group)]
+            if not (
+                isinstance(nxt, GemmKernel)
+                and nxt.role == "forward"
+                and nxt.type_selector == first.type_selector
+                and nxt.m_space == first.m_space
+                and nxt.x.buffer == first.x.buffer
+                and nxt.weight.buffer not in outputs
+                and nxt.y.buffer not in outputs
+                and nxt.y.buffer not in reads
+            ):
+                break
+            outputs.add(nxt.y.buffer)
+            reads.add(nxt.weight.buffer)
+            group.append(nxt)
+        return group
+
+    def _merge_forward_gemms(self, group: List[KernelInstance]) -> Optional[List[str]]:
+        """Fuse a run of forward GEMMs into one loop sharing ``rows``/``Xg``.
+
+        Valid only when every kernel's per-segment gather lines are textually
+        identical (same X buffer, same access scheme): the merged loop keeps
+        each output's segment writes in order, the outputs are pairwise
+        distinct, and none of them is the shared input, so interleaving is
+        bit-identical.  The ``Y`` local of each kernel after the first is
+        renamed so the merged body binds them side by side.
+        """
+        bodies: List[List[str]] = []
+        for position, kernel in enumerate(group):
+            body = self._kernel_body(kernel)
+            if position:
+                body = [re.sub(r"\bY\b", f"Y{position + 1}", line) for line in body]
+            bodies.append(body)
+        try:
+            loops = [body.index(_SEGMENT_LOOP) for body in bodies]
+        except ValueError:
+            return None
+        for body, loop in zip(bodies, loops):
+            if body[loop + 1 : loop + 4] != _SEGMENT_PROLOGUE:
+                return None
+        segs = [body[loop + 4 :] for body, loop in zip(bodies, loops)]
+        anchor = [line for line in segs[0] if _GATHER_LOCAL.match(line)]
+        for seg in segs[1:]:
+            if [line for line in seg if _GATHER_LOCAL.match(line)] != anchor:
+                return None
+        pre = list(bodies[0][: loops[0]])
+        for body, loop in zip(bodies[1:], loops[1:]):
+            pre += [line for line in body[:loop] if line not in pre]
+        merged_seg = list(segs[0])
+        for seg in segs[1:]:
+            merged_seg += [line for line in seg if not _GATHER_LOCAL.match(line)]
+        return pre + [_SEGMENT_LOOP] + _SEGMENT_PROLOGUE + merged_seg
+
+    def _cse_rows_indexes(self, seg: List[str]) -> List[str]:
+        """Hoist a graph index gathered through ``rows`` used more than once.
+
+        A merged dgrad/wgrad loop both scatters through and gathers through
+        e.g. ``_c_edge_src[rows]``; computing the gathered index once per
+        segment drops one fancy-index pass.
+        """
+        counts: Dict[str, int] = {}
+        for line in seg:
+            for match in _ROWS_INDEX.finditer(line):
+                counts[match.group(1)] = counts.get(match.group(1), 0) + 1
+        repeated = [attr for attr, count in counts.items() if count > 1]
+        if not repeated:
+            return seg
+        result: List[str] = []
+        pending = list(repeated)
+        for line in seg:
+            result.append(line)
+            if pending and re.match(r"^\s*rows = ", line):
+                indent = line[: len(line) - len(line.lstrip())]
+                for attr in pending:
+                    result.append(f"{indent}_rows_{attr} = _c_{attr}[rows]")
+                pending = []
+        if pending:
+            return seg
+        return [
+            _ROWS_INDEX.sub(
+                lambda m: f"_rows_{m.group(1)}" if m.group(1) in repeated else m.group(0),
+                line,
+            )
+            if not re.match(r"^\s*_rows_", line)
+            else line
+            for line in result
+        ]
+
+    def _list_seg_ptr(self, line: str) -> str:
+        """Bind segment pointers as Python ``list``s of plain ints.
+
+        ``seg_ptr[t]`` on an ndarray yields a numpy scalar; every segment
+        bound then pays scalar boxing on the index and on the ``end > start``
+        comparison.  Indexing a hoisted ``.tolist()`` copy yields plain ints
+        (the values are identical — they only ever index and compare).
+        """
+        match = _SEG_PTR_STMT.match(line)
+        if match:
+            indent, attr = match.groups()
+            if attr not in self._seg_lists:
+                self._seg_lists.append(attr)
+            return f"{indent}seg_ptr = _s_{attr}"
+        return line
+
+    def _use_uninitialised_output(self, line: str, output: str) -> str:
+        """Forward GEMM outputs are fully overwritten — skip the zero fill."""
+        return line.replace(f"_ensure(env, '{output}',", f"_ensure_out(env, '{output}',")
+
+    def _localise(self, line: str) -> str:
+        """Resolve ``env['x']`` / ``ctx.attr`` references to function locals.
+
+        Buffer locals stay aliased to the ``env`` entries: rebinding
+        statements also store into ``env`` (one dict write), and in-place
+        mutation flows through shared arrays, so the environment the executor
+        and bindings observe is identical to the interp backend's.
+        """
+        match = _ENSURE_STMT.match(line)
+        if match:
+            indent, target, helper, buf, shape = match.groups()
+            line = f"{indent}{target} = _b_{buf} = {helper}(env, '{buf}', {shape})"
+        match = _ENSURE_GRAD_STMT.match(line)
+        if match:
+            indent, buf = match.groups()
+            line = f"{indent}_b_grad_{buf} = _ensure_grad(env, '{buf}')"
+        line = _ENV_STORE.sub(lambda m: f"{m.group(1)}_b_{m.group(2)} = env[__sync_{m.group(2)}] = ", line)
+        line = _ENV_AUGSTORE.sub(lambda m: f"{m.group(1)}_b_{m.group(2)} += ", line)
+        line = _ENV_REF.sub(lambda m: f"_b_{m.group(1)}", line)
+        line = _SYNC_STORE.sub(lambda m: f"env['{m.group(1)}']", line)
+        line = _CTX_REF.sub(lambda m: f"_c_{m.group(1)}", line)
+        return line
+
+    # ------------------------------------------------------------------
+    def _specialise_fresh_scatters(self, body: List[str], direction: str) -> List[str]:
+        """Rewrite first-touch ``np.add.at`` sites to ``_scatter_fresh``.
+
+        A scatter whose target is known to be all-zeros — a ``scatter_add``
+        output ``_ensure`` just zero-filled, or a gradient buffer at its
+        first accumulation site in program order — computes a plain segment
+        sum, which ``np.bincount`` produces bit-identically (same per-bin
+        addition order) and far faster than the unbuffered ufunc.  Tracking
+        is alias-aware: the GEMM adjoint bodies accumulate through local
+        aliases (``grad_X = env['grad_h']``), and any direct/subscripted
+        ``+=`` or non-``_ensure_grad`` rebind marks the buffer touched so
+        later sites keep the accumulating ``np.add.at``.  Output gradients
+        are never specialised: their seed is caller data, not zeros.
+        """
+        outputs = set(self.plan.output_names)
+        alias: Dict[str, str] = {}
+        touched: Set[str] = set()
+        result: List[str] = []
+        last_y_ensure: Optional[int] = None
+        for line in body:
+            match = _SCATTER_STMT.match(line)
+            if match:
+                indent, target, args = match.groups()
+                buffer = alias.get(target, target)
+                if direction == "forward":
+                    fresh = target == "Y"
+                    if fresh and last_y_ensure is not None:
+                        # The fresh scatter fully overwrites Y, so the
+                        # zero fill of its ``_ensure`` is unobservable.
+                        result[last_y_ensure] = result[last_y_ensure].replace(
+                            "_ensure(env, ", "_ensure_out(env, ", 1
+                        )
+                        last_y_ensure = None
+                else:
+                    fresh = (
+                        buffer.startswith("_b_grad_")
+                        and buffer not in touched
+                        and buffer[len("_b_grad_") :] not in outputs
+                    )
+                if fresh:
+                    line = f"{indent}_scatter_fresh({target}, {args})"
+                touched.add(buffer)
+                result.append(line)
+                continue
+            if " = _ensure(env, " in line and line.lstrip().startswith("Y = "):
+                last_y_ensure = len(result)
+            match = _ALIAS_STMT.match(line)
+            if match:
+                alias[match.group(1)] = match.group(2)
+                result.append(line)
+                continue
+            match = _ACCUM_STMT.match(line)
+            if match:
+                name, subscript, op = match.groups()
+                buffer = alias.get(name, name)
+                if op == "+=" or subscript:
+                    touched.add(buffer)
+                elif buffer.startswith("_b_grad_") and "_ensure_grad(" not in line:
+                    touched.add(buffer)
+                elif name in alias:
+                    del alias[name]
+            result.append(line)
+        return result
+
+    # ------------------------------------------------------------------
+    def _inline_ensures(self, body: List[str]) -> List[str]:
+        """Expand ``_ensure``/``_ensure_out``/``_ensure_grad`` calls in place.
+
+        The buffer shapes are static expressions at generation time, so the
+        helper calls — and their per-call ``np.isscalar``/``isinstance``
+        dispatch — reduce to an ``env.get`` plus a shape check on the hot
+        path, allocating (or zero-filling, for ``_ensure``) exactly as the
+        helpers do on the cold path.  An ``_ensure_grad`` immediately
+        followed by its accumulation fuses with it: a dense ``+=`` onto the
+        would-be zeros becomes ``(expr) + 0.0`` — elementwise ``0.0 + v``
+        either way, so bit-identical — and a ``_scatter_fresh`` target is
+        allocated uninitialised because every fast path overwrites it fully
+        (the fallback path zero-fills first itself).
+        """
+        result: List[str] = []
+        index = 0
+        while index < len(body):
+            line = body[index]
+            match = _ENSURE_CALL.match(line)
+            if match:
+                indent, targets, helper, buf, shape = match.groups()
+                first = targets.split(" = ", 1)[0]
+                if "," not in shape:
+                    shape = f"({shape.strip('()')},)"
+                alloc = "np.zeros" if helper == "_ensure" else "np.empty"
+                result += [
+                    f"{indent}{targets}env.get('{buf}')",
+                    f"{indent}if {first} is None or {first}.shape != {shape}:",
+                    f"{indent}    {targets}env['{buf}'] = {alloc}({shape}, dtype=_env_dtype(env))",
+                ]
+                if helper == "_ensure":
+                    result += [
+                        f"{indent}else:",
+                        f"{indent}    {first}[...] = 0.0",
+                    ]
+                index += 1
+                continue
+            match = _ENSURE_GRAD_CALL.match(line)
+            if match:
+                indent, target, buf = match.groups()
+                nxt = body[index + 1] if index + 1 < len(body) else ""
+                dense = re.match(
+                    rf"^{re.escape(indent)}{re.escape(target)} \+= (.+)$", nxt
+                )
+                if dense:
+                    expr = dense.group(1)
+                    result += [
+                        f"{indent}{target} = env.get('grad_{buf}')",
+                        f"{indent}if {target} is None:",
+                        f"{indent}    {target} = ({expr}) + 0.0",
+                        f"{indent}    if {target}.shape != env['{buf}'].shape:",
+                        f"{indent}        {target} = np.zeros_like(env['{buf}'])",
+                        f"{indent}        {target} += {expr}",
+                        f"{indent}    env['grad_{buf}'] = {target}",
+                        f"{indent}else:",
+                        f"{indent}    {target} += {expr}",
+                    ]
+                    index += 2
+                    continue
+                scattered = nxt.startswith(f"{indent}_scatter_fresh({target}, ")
+                alloc_like = "np.empty_like" if scattered else "np.zeros_like"
+                result += [
+                    f"{indent}{target} = env.get('grad_{buf}')",
+                    f"{indent}if {target} is None:",
+                    f"{indent}    {target} = env['grad_{buf}'] = {alloc_like}(env['{buf}'])",
+                ]
+                index += 1
+                continue
+            result.append(line)
+            index += 1
+        return result
+
+    # ------------------------------------------------------------------
+    def _segment_count(self, kernel: KernelInstance) -> Optional[int]:
+        """Compile-time segment count of the kernel's launch loop, if known."""
+        if not isinstance(kernel, GemmKernel) or kernel.type_selector == "none":
+            return None
+        from repro.ir.inter_op.space import Space
+
+        if kernel.m_space in (Space.EDGE, Space.COMPACT):
+            return self.num_edge_types
+        if kernel.m_space is Space.NODE and kernel.type_selector in (
+            "ntype",
+            "src_ntype",
+            "dst_ntype",
+        ):
+            return self.num_node_types
+        return None
+
+    def _unroll_segments(self, body: List[str], count: int) -> List[str]:
+        """Replace ``for t in range(num_segments)`` with per-relation blocks."""
+        try:
+            loop_at = body.index("    for t in range(num_segments):")
+        except ValueError:
+            return body
+        prologue = body[loop_at + 1 : loop_at + 3]
+        if prologue != [
+            "        start, end = seg_ptr[t], seg_ptr[t + 1]",
+            "        if end <= start:",
+        ] or body[loop_at + 3] != "            continue":
+            return body
+        segment_body = body[loop_at + 4 :]
+        unrolled = body[:loop_at]
+        for t in range(count):
+            unrolled.append(f"    start, end = seg_ptr[{t}], seg_ptr[{t + 1}]")
+            unrolled.append("    if end > start:")
+            for line in segment_body:
+                unrolled.append(_LOOP_VAR.sub(str(t), line))
+        return unrolled
+
+    # ------------------------------------------------------------------
+    def _collect_ctx_attrs(self, body: List[str]) -> List[str]:
+        attrs: List[str] = []
+        for line in body:
+            for match in re.finditer(r"_c_([A-Za-z_]\w*)", line):
+                if match.group(1) not in attrs:
+                    attrs.append(match.group(1))
+        return attrs
+
+    def _hoist_env_reads(self, body: List[str], lazy_gradients: bool = False) -> List[str]:
+        """Bind every buffer local that is read before the body first writes it.
+
+        Inputs, parameters, and arena-bound intermediates are all present in
+        ``env`` on entry; a single dict read per buffer replaces one lookup
+        per use in the interp backend.  With ``lazy_gradients`` (the backward
+        function), gradient reads seed their own zeros when absent: the
+        module declares ``seeds_gradients`` so the executor skips its eager
+        zero-seeding loop, and only the gradients the backward actually reads
+        before accumulating — adjoint roots — get allocated.  Caller-seeded
+        output gradients are found by the ``env.get`` and used as-is.
+        """
+        written: Set[str] = set()
+        hoists: List[str] = []
+        hoisted: Set[str] = set()
+        for line in body:
+            parts = line.split(" = ")
+            targets = [part.strip() for part in parts[:-1]] if len(parts) > 1 else []
+            pure_targets = {part for part in targets if _LOCAL_TOKEN.fullmatch(part)}
+            read_text = parts[-1] if len(parts) > 1 else line
+            read_text = " ".join([read_text] + [part for part in targets if part not in pure_targets])
+            for token in _LOCAL_TOKEN.findall(read_text):
+                if token not in written and token not in hoisted:
+                    name = token[3:]
+                    if lazy_gradients and name.startswith("grad_"):
+                        base = name[len("grad_") :]
+                        hoists += [
+                            f"    {token} = env.get('{name}')",
+                            f"    if {token} is None:",
+                            f"        {token} = env['{name}'] = np.zeros_like(env['{base}'])",
+                        ]
+                    else:
+                        hoists.append(f"    {token} = env['{name}']")
+                    hoisted.add(token)
+            written.update(pure_targets)
+        return hoists

@@ -92,10 +92,21 @@ class GraphContext:
         return ctx
 
     def degree_normalization(self) -> np.ndarray:
-        """Per-edge ``1 / c_{v,r}`` factors (RGCN normalisation)."""
-        keys = self.edge_dst * self.num_etypes + self.edge_type
-        _, inverse, counts = np.unique(keys, return_inverse=True, return_counts=True)
-        return 1.0 / counts[inverse].astype(np.float64)
+        """Per-edge ``1 / c_{v,r}`` factors (RGCN normalisation).
+
+        Pure graph structure, so it is computed once per context and the
+        (read-only) array is shared across every forward call — the
+        ``np.unique``/argsort pass it needs is comparable in cost to a whole
+        small-graph forward and used to dominate serve-loop profiles.
+        """
+        cached = getattr(self, "_degree_norm", None)
+        if cached is None:
+            keys = self.edge_dst * self.num_etypes + self.edge_type
+            _, inverse, counts = np.unique(keys, return_inverse=True, return_counts=True)
+            cached = 1.0 / counts[inverse].astype(np.float64)
+            cached.flags.writeable = False
+            self._degree_norm = cached
+        return cached
 
     def index_array_bytes(self) -> int:
         """Device memory occupied by the index arrays (for the memory model)."""

@@ -74,15 +74,19 @@ class PlanExecutor:
         # buffer with zeros so adjoint kernels can accumulate unconditionally.
         # Seeds take the dtype of the forward buffer they pair with, so
         # float32 environments do not silently upcast their gradients.
+        # Self-seeding backends (``python-codegen``) allocate the zero seeds
+        # they actually read inside the generated backward instead, so the
+        # eager per-kernel loop is skipped.
         for name, grad in output_grads.items():
             if name not in env:
                 raise KeyError(f"output {name!r} not present in the forward environment")
             env[f"grad_{name}"] = np.array(grad, dtype=env[name].dtype, copy=True)
-        for kernel in self.plan.forward_kernels:
-            for name in kernel.written_buffers():
-                grad_name = f"grad_{name}"
-                if grad_name not in env and name in env:
-                    env[grad_name] = np.zeros_like(env[name])
+        if not getattr(self.generated, "seeds_gradients", False):
+            for kernel in self.plan.forward_kernels:
+                for name in kernel.written_buffers():
+                    grad_name = f"grad_{name}"
+                    if grad_name not in env and name in env:
+                        env[grad_name] = np.zeros_like(env[name])
         program = self.generated.backward_program
         if program is not None:
             program(env, ctx)

@@ -218,6 +218,16 @@ class CompiledRGNNModule:
         """The plan's primary output buffer name."""
         return self.plan.output_names[0]
 
+    @property
+    def backend(self) -> str:
+        """Name of the execution backend that generated this module's kernels.
+
+        Recorded in the plan metadata by ``compile_program`` from the registry
+        (:mod:`repro.ir.codegen.registry`); ``"python-interp"`` for plans
+        compiled before the backend was recorded.
+        """
+        return str(self.plan.metadata.get("backend", "python-interp"))
+
     # ------------------------------------------------------------------
     # execution (delegates to the default binding)
     # ------------------------------------------------------------------
@@ -252,6 +262,7 @@ class CompiledRGNNModule:
     def summary(self) -> Dict[str, object]:
         """Plan summary plus parameter count (for reports and tests)."""
         info = self.plan.summary()
+        info["backend"] = self.backend
         info["num_parameters"] = self.num_parameters()
         info["graph"] = (
             self._default_binding.graph.name if self._default_binding is not None else str(self.schema)

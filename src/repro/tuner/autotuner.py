@@ -65,6 +65,7 @@ TUNED_FIELDS = (
     "gemm_coarsening",
     "traversal_rows_per_block",
     "traversal_partial_aggregation",
+    "backend",
 )
 
 

@@ -40,6 +40,10 @@ class TuningSpace:
         gemm_tile_sizes / gemm_coarsening: GEMM-template schedule axes.
         traversal_rows_per_block / traversal_partial_aggregation:
             traversal-template schedule axes.
+        backends: execution-backend axis
+            (:mod:`repro.ir.codegen.registry` names).  Backends never change
+            numerics or the cost model's estimate, so ties resolve toward the
+            base options' backend, which is always emitted first.
     """
 
     compact_materialization: Tuple[bool, ...] = (False, True)
@@ -49,6 +53,7 @@ class TuningSpace:
     gemm_coarsening: Tuple[int, ...] = ALLOWED_COARSENING
     traversal_rows_per_block: Tuple[int, ...] = TRAVERSAL_ROWS_CANDIDATES
     traversal_partial_aggregation: Tuple[bool, ...] = (True, False)
+    backends: Tuple[str, ...] = ("python-interp", "python-codegen")
 
     # ------------------------------------------------------------------
     @classmethod
@@ -75,18 +80,23 @@ class TuningSpace:
     def pass_candidates(self, base: Optional[CompilerOptions] = None) -> List[CompilerOptions]:
         """Pass-level candidates (base schedules), base point first."""
         base = base or CompilerOptions()
+        # The base options' backend leads, so the base point stays first and
+        # cost-model ties (backends share one estimate) resolve toward it.
+        backends = (base.backend,) + tuple(b for b in self.backends if b != base.backend)
         candidates: List[CompilerOptions] = []
-        for compact in self.compact_materialization:
-            for reorder in self.linear_operator_reordering:
-                for fuse in self.fuse_elementwise:
-                    candidates.append(
-                        base.with_(
-                            compact_materialization=compact,
-                            linear_operator_reordering=reorder,
-                            fuse_elementwise=fuse,
-                            optimization_level=None,
+        for backend in backends:
+            for compact in self.compact_materialization:
+                for reorder in self.linear_operator_reordering:
+                    for fuse in self.fuse_elementwise:
+                        candidates.append(
+                            base.with_(
+                                compact_materialization=compact,
+                                linear_operator_reordering=reorder,
+                                fuse_elementwise=fuse,
+                                backend=backend,
+                                optimization_level=None,
+                            )
                         )
-                    )
         return _dedupe(candidates)
 
     def schedule_candidates(self, base: Optional[CompilerOptions] = None) -> List[CompilerOptions]:
@@ -127,6 +137,7 @@ class TuningSpace:
             len(self.compact_materialization)
             * len(self.linear_operator_reordering)
             * len(self.fuse_elementwise)
+            * len(self.backends)
         )
 
     @property

@@ -4,7 +4,12 @@ import numpy as np
 
 from repro.frontend.compiler import compile_program
 from repro.frontend.config import CONFIGURATIONS, CompilerOptions
-from repro.ir.codegen import generate_cuda_source, generate_host_source, generate_python_module
+from repro.ir.codegen import generate_host_source, get_backend
+
+#: Registry entry points used throughout (the deprecated module-level
+#: aliases are covered by tests/test_backend_registry.py).
+_interp = get_backend("python-interp")
+_cuda = get_backend("cuda-emit")
 from repro.ir.inter_op import lower_program
 from repro.ir.inter_op.passes import default_pipeline
 from repro.models import build_program
@@ -13,28 +18,28 @@ from repro.models import build_program
 class TestPythonBackend:
     def test_generated_module_has_one_function_per_kernel(self):
         plan = lower_program(build_program("rgat"))
-        module = generate_python_module(plan)
+        module = _interp.generate(plan)
         assert set(module.forward_functions) == {k.name for k in plan.forward_kernels}
         assert set(module.backward_functions) == {k.name for k in plan.backward_kernels}
         assert module.line_count() > 100
 
     def test_generated_source_mentions_access_schemes(self):
         plan = lower_program(default_pipeline(True, False).run(build_program("rgat")))
-        module = generate_python_module(plan)
+        module = _interp.generate(plan)
         assert "ctx.unique_src" in module.source
         assert "ctx.unique_etype_ptr" in module.source
         assert "np.add.at" in module.source  # atomic-style accumulation in backward
 
     def test_generated_source_is_deterministic(self):
         plan = lower_program(build_program("rgcn"))
-        a = generate_python_module(plan).source
-        b = generate_python_module(plan).source
+        a = _interp.generate(plan).source
+        b = _interp.generate(plan).source
         assert a == b
 
     def test_generated_functions_are_callable(self, small_graph):
         from repro.runtime.context import GraphContext
         plan = lower_program(build_program("rgcn", in_dim=4, out_dim=4))
-        module = generate_python_module(plan)
+        module = _interp.generate(plan)
         ctx = GraphContext.from_graph(small_graph)
         env = {
             "h": np.random.randn(small_graph.num_nodes, 4),
@@ -50,7 +55,7 @@ class TestPythonBackend:
 class TestCudaBackend:
     def test_cuda_source_contains_template_specialisations(self):
         plan = lower_program(build_program("rgat"))
-        source = generate_cuda_source(plan)
+        source = _cuda.generate(plan).source
         assert "__global__" in source
         assert "__shared__" in source
         assert "GEMM template instance" in source
@@ -60,12 +65,12 @@ class TestCudaBackend:
     def test_cuda_source_reflects_compact_materialization(self):
         plan_u = lower_program(build_program("rgat"))
         plan_c = lower_program(default_pipeline(True, False).run(build_program("rgat")))
-        assert "unique_row_idx[idxRow]" not in generate_cuda_source(plan_u)
-        assert "unique_row_idx[idxRow]" in generate_cuda_source(plan_c)
+        assert "unique_row_idx[idxRow]" not in _cuda.generate(plan_u).source
+        assert "unique_row_idx[idxRow]" in _cuda.generate(plan_c).source
 
     def test_cuda_source_grows_with_models(self):
-        small = len(generate_cuda_source(lower_program(build_program("rgcn"))).splitlines())
-        large = len(generate_cuda_source(lower_program(build_program("hgt"))).splitlines())
+        small = len(_cuda.generate(lower_program(build_program("rgcn"))).source.splitlines())
+        large = len(_cuda.generate(lower_program(build_program("hgt"))).source.splitlines())
         assert large > small > 50
 
 

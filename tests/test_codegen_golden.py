@@ -58,6 +58,19 @@ def test_tuned_rgat_cuda_snapshot(rgat_program, update_golden):
     _check_golden("rgat_tuned_bgs.cu", text, update_golden)
 
 
+def test_default_rgat_codegen_python_snapshot(rgat_program, update_golden):
+    """Golden whole-plan Python source of the ``python-codegen`` backend.
+
+    Compiled without a graph, so the snapshot is the schema-independent
+    (runtime-looped) form: any change to the kernel templates, the inlining
+    rewrites, the fresh-scatter specialisation, or the merged segment loops
+    shows up as a diff against ``tests/golden/rgat_default_codegen.py``.
+    """
+    result = compile_program(rgat_program, CompilerOptions(backend="python-codegen"))
+    text = f"# backend: {result.plan.metadata['backend']}\n" + result.generated.source
+    _check_golden("rgat_default_codegen.py", text, update_golden)
+
+
 def test_tuned_snapshot_differs_from_default(rgat_program):
     """The tuner must pick a non-default point for bgs (passes and schedules)."""
     workload = WorkloadSpec.from_dataset(TUNED_DATASET)

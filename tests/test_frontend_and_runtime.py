@@ -7,7 +7,7 @@ from repro.frontend import CompilerOptions, compile_model, compile_program, hect
 from repro.frontend.config import CONFIGURATIONS
 from repro.models import build_program
 from repro.runtime import GraphContext, PlanExecutor
-from repro.ir.codegen import generate_python_module
+from repro.ir.codegen import get_backend
 
 
 class TestGraphContext:
@@ -93,7 +93,7 @@ class TestFrontend:
     def test_inference_only_compilation(self):
         result = compile_program(build_program("rgat"), CompilerOptions(emit_backward=False))
         assert result.plan.backward_kernels == []
-        module = generate_python_module(result.plan)
+        module = get_backend("python-interp").generate(result.plan)
         assert module.backward_functions == {}
 
 

@@ -172,3 +172,67 @@ class TestDifferentialDesignSpaceSweep:
             for o in TuningSpace().pass_candidates()
         }
         assert space_keys <= sweep_keys
+
+
+# ----------------------------------------------------------------------
+# Backend differential: python-codegen ≡ python-interp, bit for bit
+# ----------------------------------------------------------------------
+@pytest.mark.differential
+class TestBackendDifferentialSweep:
+    """The whole-plan codegen backend against the per-kernel interp backend.
+
+    Stronger than the reference sweep above: the two backends run the *same*
+    numpy operations in the same order on the same values, so outputs,
+    parameter gradients, and input gradients must match bit for bit
+    (``tobytes`` equality, not allclose) on every tuner-reachable
+    configuration of every model.
+    """
+
+    @pytest.mark.parametrize("options", list(_tuner_reachable_configurations()))
+    @pytest.mark.parametrize("model", MODEL_NAMES)
+    def test_codegen_bit_identical_to_interp(self, model, options, dim=4):
+        nodes, edges, ntypes, etypes, seed = _DIFFERENTIAL_GRAPH
+        graph = random_hetero_graph(nodes, edges, ntypes, etypes, seed=seed)
+        rng = np.random.default_rng(seed + 2)
+        features = rng.standard_normal((graph.num_nodes, dim))
+        upstream = None
+
+        outs, grads, input_grads = {}, {}, {}
+        for backend in ("python-interp", "python-codegen"):
+            module = compile_model(
+                model, graph, in_dim=dim, out_dim=dim,
+                options=options.with_(backend=backend), seed=seed % 50,
+            )
+            assert module.backend == backend
+            out = module.forward(features)
+            if upstream is None:
+                key = next(iter(out))
+                upstream = np.random.default_rng(seed + 3).standard_normal(out[key].shape)
+            module.backward({key: upstream})
+            outs[backend] = out
+            grads[backend] = {
+                name: p.grad.copy() for name, p in module.parameters_by_name.items()
+            }
+            input_grads[backend] = {
+                name: grad.copy()
+                for name, grad in module.default_binding.input_gradients().items()
+                if grad is not None
+            }
+
+        for name in outs["python-interp"]:
+            assert (
+                outs["python-interp"][name].tobytes()
+                == outs["python-codegen"][name].tobytes()
+            ), f"forward output {name} diverged"
+        assert set(grads["python-interp"]) == set(grads["python-codegen"])
+        for name in grads["python-interp"]:
+            assert (
+                grads["python-interp"][name].tobytes()
+                == grads["python-codegen"][name].tobytes()
+            ), f"parameter gradient {name} diverged"
+        assert set(input_grads["python-interp"]) == set(input_grads["python-codegen"])
+        for name in input_grads["python-interp"]:
+            assert (
+                input_grads["python-interp"][name].tobytes()
+                == input_grads["python-codegen"][name].tobytes()
+            ), f"input gradient {name} diverged"
