@@ -1,0 +1,47 @@
+"""Scaling benchmarks: the acceptance gates of data-parallel sharded training.
+
+Two claims are gated here:
+
+1. **Aggregate throughput scales** — on the dispatch-bound cell (many tiny
+   typed edge groups, where per-minibatch Python dispatch dominates), the
+   modelled aggregate throughput of 4 in-process shards — total seeds over
+   the critical path of slowest-shard busy CPU time plus collective reduce
+   time — is at least 1.8x the 1-worker run of the *same* sharded code path.
+2. **Scaling changes nothing numerically** — every worker count in the sweep
+   lands on the identical final loss (the bit-identity lockdown of
+   ``tests/test_sharded_training.py``, visible end to end through the study).
+"""
+
+import pytest
+
+from repro.evaluation.reporting import format_table
+from repro.evaluation.scaling_study import scaling_rows, scaling_study
+
+#: Minimum modelled aggregate speedup of 4 in-process shards over 1 worker.
+MIN_4_SHARD_SPEEDUP = 1.8
+
+
+@pytest.mark.smoke
+def test_four_shard_aggregate_throughput_gate():
+    """Acceptance gate: >= 1.8x aggregate seeds/s at 4 shards vs 1 worker."""
+    study = scaling_study(model="rgcn", worker_counts=(1, 4), epochs=2, batch_size=10)
+    print()
+    print(format_table(scaling_rows(study),
+                       title=f"Scaling — {study['model']} on {study['graph']}"))
+    speedup = study["aggregate_speedups"][4]
+    assert speedup >= MIN_4_SHARD_SPEEDUP, (
+        f"4-shard aggregate speedup {speedup}x below the {MIN_4_SHARD_SPEEDUP}x gate"
+    )
+    assert study["losses_identical"], (
+        "worker counts diverged in final loss — bit-identity broken in the study path"
+    )
+
+
+@pytest.mark.smoke
+def test_scaling_sweep_is_numerically_invariant():
+    """Every worker count of the full sweep lands on the same final loss."""
+    study = scaling_study(model="rgcn", worker_counts=(1, 2, 4, 8), epochs=1, batch_size=10)
+    losses = [row["final_loss"] for row in study["rows"]]
+    assert len(set(losses)) == 1, f"losses diverged across worker counts: {losses}"
+    for row in study["rows"]:
+        assert row["all_reduce_ops"] > 0

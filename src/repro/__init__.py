@@ -14,6 +14,9 @@ Public entry points:
 * :class:`repro.MinibatchTrainer` (from :mod:`repro.train`) — sampled-block
   minibatch training: shuffled seed minibatches, per-hop or merged blocks,
   gradient accumulation across bindings, :mod:`repro.tensor.optim` steps.
+* :class:`repro.ShardedTrainer` (from :mod:`repro.train.distributed`) —
+  data-parallel sharded training over pluggable collectives (in-process
+  threads or shared-memory processes), bit-identical to one worker.
 * :class:`repro.MultiLayerModule` (from :mod:`repro.runtime`) — L-layer
   stacks executed full-graph, over merged blocks, or layer-by-hop.
 * :mod:`repro.tensor` — the numpy autograd tensor substrate.
@@ -33,9 +36,9 @@ from repro.frontend import CompilerOptions, compile_model, compile_program, hect
 from repro.ir.codegen.registry import Backend, available_backends, get_backend, register_backend
 from repro.runtime import MultiLayerModule
 from repro.serving import Router, ServingEngine
-from repro.train import MinibatchTrainer
+from repro.train import MinibatchTrainer, ShardedTrainer
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "Backend",
@@ -49,6 +52,7 @@ __all__ = [
     "Router",
     "ServingEngine",
     "MinibatchTrainer",
+    "ShardedTrainer",
     "MultiLayerModule",
     "__version__",
 ]

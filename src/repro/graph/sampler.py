@@ -26,10 +26,14 @@ sampling):
   cap of the hop that drew the node, and an epoch's neighborhoods are
   internally consistent across minibatches;
 * :meth:`NeighborSampler.resample` starts a new epoch: the draw memo is
-  cleared and the RNG is reseeded from ``(seed, epoch)``, so epochs draw
-  *different* neighborhoods while any epoch is exactly reproducible from the
-  base seed (the per-epoch stream does not depend on how many draws earlier
-  epochs made);
+  cleared and the RNG is reseeded from ``(seed, epoch)`` — or
+  ``(seed, epoch, shard)`` for a data-parallel worker's sampler — so epochs
+  (and shards) draw *different* neighborhoods while any epoch is exactly
+  reproducible from the base seed (the per-epoch stream does not depend on
+  how many draws earlier epochs made); ``shard=0`` seeds the very stream
+  unsharded training uses (numpy's ``SeedSequence`` absorbs the trailing
+  zero word), so a 1-shard world reproduces plain training by construction,
+  while shards >= 1 never alias any unsharded epoch;
 * ``fanout=None`` keeps the full neighborhood, in which case every seed's
   one-hop aggregation over the block is *exact*: it matches the full-graph
   computation restricted to the seeds (the property the sampler tests pin).
@@ -166,7 +170,12 @@ class NeighborSampler:
         fanouts: one entry per hop; each is the max number of incoming edges
             kept per (node, relation), or ``None`` for the full neighborhood.
         seed: base RNG seed; a sampler is deterministic given
-            (seed, epoch, call order).
+            (seed, epoch, shard, call order).
+        shard: optional data-parallel shard index.  A sharded sampler seeds
+            every epoch from ``(seed, epoch, shard)`` instead of
+            ``(seed, epoch)``, so workers sharing a base seed draw disjoint
+            neighborhood streams while any ``(epoch, shard)`` pair stays
+            exactly replayable (see :meth:`resample`).
 
     Neighborhood draws are memoised per ``(relation, destination)`` for the
     duration of one *epoch*: every block sampled between two
@@ -177,7 +186,13 @@ class NeighborSampler:
     so :meth:`resample` clears it and reseeds the RNG from ``(seed, epoch)``.
     """
 
-    def __init__(self, graph: HeteroGraph, fanouts: Sequence[Fanout] = (None,), seed: int = 0):
+    def __init__(
+        self,
+        graph: HeteroGraph,
+        fanouts: Sequence[Fanout] = (None,),
+        seed: int = 0,
+        shard: Optional[int] = None,
+    ):
         if not len(fanouts):
             raise ValueError("fanouts needs at least one hop")
         for fanout in fanouts:
@@ -188,7 +203,8 @@ class NeighborSampler:
         self.schema = GraphSchema.from_graph(graph)
         self.base_seed = int(seed)
         self.epoch = 0
-        self._rng = np.random.default_rng([self.base_seed, 0])
+        self.shard = None if shard is None else int(shard)
+        self._rng = np.random.default_rng(self._seed_words(0, self.shard))
         #: Epoch-scoped draw memo.  The key includes the requesting hop's
         #: fanout so a node revisited at a hop with a *different* cap gets a
         #: fresh draw under that cap instead of inheriting a larger one —
@@ -210,17 +226,41 @@ class NeighborSampler:
     # ------------------------------------------------------------------
     # epochs
     # ------------------------------------------------------------------
-    def resample(self, epoch: Optional[int] = None) -> int:
+    def _seed_words(self, epoch: int, shard: Optional[int]) -> List[int]:
+        """The RNG seed tuple of one ``(epoch, shard)`` stream, validated.
+
+        ``np.random.default_rng`` seed words must be non-negative; feeding it
+        a negative epoch (or shard) crashes deep inside numpy with an opaque
+        ``ValueError``, so both are rejected here with the argument named.
+        """
+        epoch = int(epoch)
+        if epoch < 0:
+            raise ValueError(f"epoch must be >= 0 (RNG seed words are non-negative), got {epoch}")
+        if shard is not None:
+            shard = int(shard)
+            if shard < 0:
+                raise ValueError(f"shard must be >= 0 (RNG seed words are non-negative), got {shard}")
+        return [self.base_seed, epoch] if shard is None else [self.base_seed, epoch, shard]
+
+    def resample(self, epoch: Optional[int] = None, shard: Optional[int] = None) -> int:
         """Start a new sampling epoch; returns the epoch now in effect.
 
         Clears the per-(relation, destination) draw memo and reseeds the RNG
-        from ``(base_seed, epoch)``, so the new epoch draws fresh
-        neighborhoods yet is exactly reproducible: any sampler with the same
-        base seed replays the same epoch regardless of what earlier epochs
-        sampled.  ``epoch`` defaults to the next epoch in sequence.
+        from ``(base_seed, epoch)`` — or ``(base_seed, epoch, shard)`` for a
+        sharded sampler — so the new epoch draws fresh neighborhoods yet is
+        exactly reproducible: any sampler with the same base seed replays the
+        same ``(epoch, shard)`` stream regardless of what earlier epochs (or
+        other shards in between) sampled.  ``epoch`` defaults to the next
+        epoch in sequence; ``shard`` defaults to the sampler's current shard
+        (sticky, so per-worker samplers stay in their own stream across
+        epochs).
         """
-        self.epoch = int(epoch) if epoch is not None else self.epoch + 1
-        self._rng = np.random.default_rng([self.base_seed, self.epoch])
+        epoch = int(epoch) if epoch is not None else self.epoch + 1
+        shard = self.shard if shard is None else int(shard)
+        words = self._seed_words(epoch, shard)
+        self.epoch = epoch
+        self.shard = shard
+        self._rng = np.random.default_rng(words)
         self._drawn.clear()
         return self.epoch
 

@@ -160,8 +160,12 @@ def aggregate_summary(stats: Iterable[EngineStats]) -> Dict[str, object]:
     seeds = sum(s.num_seeds for s in stats)
     busy = sum(s.total_seconds for s in stats)
     latencies: List[float] = []
+    tracked_replays: List[bool] = []
     for s in stats:
         latencies.extend(s.request_latencies)
+        tracked_replays.extend(
+            record.plan_replayed for record in s.batches if record.plan_replayed is not None
+        )
     return {
         "endpoints": len(stats),
         "requests": requests,
@@ -171,4 +175,9 @@ def aggregate_summary(stats: Iterable[EngineStats]) -> Dict[str, object]:
         "seeds_per_s": round(seeds / busy, 1) if busy > 0 else 0.0,
         "latency_p50_ms": round(percentile(latencies, 50) * 1e3, 3),
         "latency_p95_ms": round(percentile(latencies, 95) * 1e3, 3),
+        # Same zero-record guard as EngineStats.plan_replay_rate: pooling
+        # zero tracked batch records must report None, not divide by zero.
+        "plan_replay_rate": (
+            round(sum(tracked_replays) / len(tracked_replays), 3) if tracked_replays else None
+        ),
     }

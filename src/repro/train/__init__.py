@@ -1,4 +1,4 @@
-"""Sampled-block minibatch training.
+"""Sampled-block minibatch training, single-worker and data-parallel.
 
 The training counterpart of the serving layer: a
 :class:`~repro.train.trainer.MinibatchTrainer` iterates deterministic
@@ -8,8 +8,25 @@ module to the block, accumulates gradients across bindings, and steps a
 :mod:`repro.tensor.optim` optimizer — locked down by equivalence tests
 (``tests/test_minibatch_training.py``) that pin minibatch epochs against
 full-graph training.
+
+:class:`~repro.train.distributed.ShardedTrainer` scales the same loop
+data-parallel: each epoch's minibatches are partitioned round-robin over N
+workers whose window gradients are combined through a pluggable
+:class:`~repro.train.collective.Collective` — bit-identical to the 1-worker
+trainer (``tests/test_sharded_training.py``).
 """
 
+from repro.train.collective import (
+    COLLECTIVES,
+    Collective,
+    CollectiveStats,
+    LocalCollective,
+    SharedMemoryCollective,
+    make_collective,
+    register_collective,
+    tree_reduce,
+)
+from repro.train.distributed import ShardedTrainer, shard_minibatches
 from repro.train.objectives import (
     OBJECTIVES,
     Objective,
@@ -17,14 +34,26 @@ from repro.train.objectives import (
     resolve_objective,
     softmax_cross_entropy,
 )
-from repro.train.stats import EpochStats, TrainStats
+from repro.train.stats import DistributedTrainStats, EpochStats, ShardEpochStats, TrainStats
 from repro.train.trainer import OPTIMIZERS, MinibatchTrainer
 
 __all__ = [
     "MinibatchTrainer",
+    "ShardedTrainer",
+    "shard_minibatches",
     "OPTIMIZERS",
     "EpochStats",
     "TrainStats",
+    "ShardEpochStats",
+    "DistributedTrainStats",
+    "Collective",
+    "CollectiveStats",
+    "LocalCollective",
+    "SharedMemoryCollective",
+    "COLLECTIVES",
+    "make_collective",
+    "register_collective",
+    "tree_reduce",
     "OBJECTIVES",
     "Objective",
     "softmax_cross_entropy",

@@ -1,0 +1,288 @@
+"""Pluggable collectives for data-parallel sharded training.
+
+A :class:`Collective` is the communication substrate of
+:class:`~repro.train.distributed.ShardedTrainer`: every worker (rank) calls
+``all_reduce`` / ``broadcast`` / ``barrier`` collectively once per
+accumulation window, exactly like an MPI communicator.  Two registrants ship:
+
+* :class:`LocalCollective` — in-process workers (threads) rendezvous on a
+  ``threading.Barrier``; rank 0 combines the rank-indexed contribution slots
+  with :func:`tree_reduce` and every rank reads the one shared result.
+* :class:`SharedMemoryCollective` — ``multiprocessing`` workers (forked
+  processes) exchange through a shared-memory slot buffer guarded by a
+  ``multiprocessing.Barrier``; the reduction code is the same.
+
+Determinism is the whole point: both collectives combine contributions with
+a **rank-ordered pairwise tree** (:func:`tree_reduce`), so the float
+summation order is a fixed function of the world size — never of thread or
+process scheduling — and repeated runs are bit-identical.  The bit-identity
+lockdown of sharded training (``tests/test_sharded_training.py``) leans on
+an even stronger property: the trainer all-reduces *zero-padded per-minibatch
+gradient rows* (each row has exactly one non-zero contributor, and adding
+zeros is exact in IEEE float), then reduces the rows through the same
+canonical tree the single-worker trainer uses, so the final association is
+independent of the shard count altogether.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import multiprocessing
+import threading
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Type
+
+import numpy as np
+
+
+def tree_reduce(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Sum arrays by a deterministic pairwise (binary-tree) association.
+
+    Adjacent pairs are added, then pairs of pairs, and so on — the
+    association depends only on the *number* of inputs and their order,
+    never on which worker produced which input.  This is the canonical
+    summation both the single-worker trainer (over per-minibatch gradient
+    leaves) and every collective (over rank contributions) use, which is
+    what lets N-shard training reproduce 1-worker training bit for bit.
+    """
+    chunks: List[np.ndarray] = [np.asarray(array, dtype=np.float64) for array in arrays]
+    if not chunks:
+        raise ValueError("tree_reduce needs at least one array")
+    while len(chunks) > 1:
+        merged = [chunks[i] + chunks[i + 1] for i in range(0, len(chunks) - 1, 2)]
+        if len(chunks) % 2:
+            merged.append(chunks[-1])
+        chunks = merged
+    return chunks[0]
+
+
+@dataclass
+class CollectiveStats:
+    """Telemetry of one collective: operation count, traffic, reduce time.
+
+    Every rate/mean here is guarded for the zero-operation case — a freshly
+    built collective (or a 1-worker run that never communicates) must report
+    zeros, not raise.
+    """
+
+    operations: int = 0
+    bytes_moved: int = 0
+    reduce_seconds: float = 0.0
+
+    @property
+    def mean_bytes_per_operation(self) -> float:
+        return self.bytes_moved / self.operations if self.operations else 0.0
+
+    @property
+    def megabytes_moved(self) -> float:
+        return self.bytes_moved / 1e6
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "all_reduce_ops": self.operations,
+            "all_reduce_mb": round(self.megabytes_moved, 3),
+            "all_reduce_s": round(self.reduce_seconds, 4),
+            "mean_kb_per_op": round(self.mean_bytes_per_operation / 1e3, 2),
+        }
+
+
+class Collective(ABC):
+    """Rank-addressed collective operations over ``world_size`` workers.
+
+    Every operation is *collective*: all ranks must call it (with arrays of
+    one agreed shape), and implementations may block a rank until the rest
+    arrive.  Results are deterministic — reduction order is fixed by rank,
+    not by arrival order.
+    """
+
+    #: True when ranks live in separate processes (workers must be forked,
+    #: not threaded) — the sharded trainer picks its launcher from this.
+    runs_in_processes = False
+
+    def __init__(self, world_size: int, capacity: Optional[int] = None):
+        world_size = int(world_size)
+        if world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {world_size}")
+        self.world_size = world_size
+        self.capacity = None if capacity is None else int(capacity)
+
+    def _check_rank(self, rank: int) -> int:
+        rank = int(rank)
+        if not 0 <= rank < self.world_size:
+            raise ValueError(f"rank must lie in [0, {self.world_size}), got {rank}")
+        return rank
+
+    @abstractmethod
+    def all_reduce(self, rank: int, local: np.ndarray) -> np.ndarray:
+        """Element-wise sum of every rank's array, identical on all ranks."""
+
+    @abstractmethod
+    def broadcast(self, rank: int, local: np.ndarray, root: int = 0) -> np.ndarray:
+        """Every rank returns ``root``'s array (non-roots' inputs size the buffer)."""
+
+    @abstractmethod
+    def barrier(self, rank: int) -> None:
+        """Block until every rank has arrived."""
+
+    @property
+    @abstractmethod
+    def stats(self) -> CollectiveStats:
+        """Accumulated traffic/time telemetry (see :class:`CollectiveStats`)."""
+
+
+class LocalCollective(Collective):
+    """In-process collective for thread workers (and the 1-worker case).
+
+    Ranks deposit contributions into rank-indexed slots, meet at a
+    ``threading.Barrier``, rank 0 performs the rank-ordered
+    :func:`tree_reduce` exactly once, and a second barrier releases every
+    rank to read the single shared result.  Returned arrays are shared
+    read-only views — the trainer copies before mutating.
+    """
+
+    def __init__(self, world_size: int, capacity: Optional[int] = None):
+        super().__init__(world_size, capacity)
+        self._barrier = threading.Barrier(self.world_size)
+        self._slots: List[Optional[np.ndarray]] = [None] * self.world_size
+        self._result: Optional[np.ndarray] = None
+        self._stats = CollectiveStats()
+
+    @property
+    def stats(self) -> CollectiveStats:
+        return self._stats
+
+    def all_reduce(self, rank: int, local: np.ndarray) -> np.ndarray:
+        rank = self._check_rank(rank)
+        self._slots[rank] = np.asarray(local, dtype=np.float64)
+        self._barrier.wait()
+        if rank == 0:
+            start = time.perf_counter()
+            self._result = tree_reduce(self._slots)
+            self._stats.operations += 1
+            self._stats.bytes_moved += sum(slot.nbytes for slot in self._slots)
+            self._stats.reduce_seconds += time.perf_counter() - start
+        self._barrier.wait()
+        return self._result
+
+    def broadcast(self, rank: int, local: np.ndarray, root: int = 0) -> np.ndarray:
+        # Publish through the rank-indexed slots, not the shared result: a
+        # rank may enter this operation while a straggler is still returning
+        # the previous one's result, and only slot writes are gated so that
+        # no rank can overwrite state another rank has yet to read.
+        rank = self._check_rank(rank)
+        root = self._check_rank(root)
+        self._slots[rank] = np.asarray(local, dtype=np.float64)
+        self._barrier.wait()
+        out = self._slots[root]
+        self._barrier.wait()
+        return out
+
+    def barrier(self, rank: int) -> None:
+        self._check_rank(rank)
+        self._barrier.wait()
+
+
+class SharedMemoryCollective(Collective):
+    """``multiprocessing`` collective over a fork-shared slot buffer.
+
+    Built in the parent *before* workers fork so every child inherits the
+    same shared arrays and barrier.  ``capacity`` is the largest per-rank
+    element count any operation will move (the sharded trainer sizes it from
+    its widest accumulation window).  Telemetry lives in shared values so the
+    parent can read it after the workers exit.
+    """
+
+    runs_in_processes = True
+
+    def __init__(self, world_size: int, capacity: Optional[int] = None):
+        super().__init__(world_size, capacity)
+        if self.capacity is None or self.capacity < 1:
+            raise ValueError("SharedMemoryCollective needs a positive element capacity")
+        context = multiprocessing.get_context("fork")
+        self._barrier = context.Barrier(self.world_size)
+        self._slots = context.Array(ctypes.c_double, self.world_size * self.capacity, lock=False)
+        self._result = context.Array(ctypes.c_double, self.capacity, lock=False)
+        # Written only by rank 0, strictly between the two barriers of an
+        # operation, so lock-free shared values are race-free.
+        self._operations = context.Value(ctypes.c_int64, 0, lock=False)
+        self._bytes = context.Value(ctypes.c_int64, 0, lock=False)
+        self._seconds = context.Value(ctypes.c_double, 0.0, lock=False)
+
+    @property
+    def stats(self) -> CollectiveStats:
+        return CollectiveStats(
+            operations=int(self._operations.value),
+            bytes_moved=int(self._bytes.value),
+            reduce_seconds=float(self._seconds.value),
+        )
+
+    def _slot_view(self, rank: int, size: int) -> np.ndarray:
+        flat = np.frombuffer(self._slots, dtype=np.float64)
+        return flat[rank * self.capacity:rank * self.capacity + size]
+
+    def _check_size(self, size: int) -> None:
+        if size > self.capacity:
+            raise ValueError(
+                f"array of {size} elements exceeds the collective's capacity of {self.capacity}"
+            )
+
+    def all_reduce(self, rank: int, local: np.ndarray) -> np.ndarray:
+        rank = self._check_rank(rank)
+        local = np.asarray(local, dtype=np.float64)
+        self._check_size(local.size)
+        self._slot_view(rank, local.size)[:] = local.ravel()
+        self._barrier.wait()
+        if rank == 0:
+            start = time.perf_counter()
+            reduced = tree_reduce([self._slot_view(r, local.size) for r in range(self.world_size)])
+            np.frombuffer(self._result, dtype=np.float64)[:local.size] = reduced
+            self._operations.value += 1
+            self._bytes.value += local.nbytes * self.world_size
+            self._seconds.value += time.perf_counter() - start
+        self._barrier.wait()
+        out = np.frombuffer(self._result, dtype=np.float64)[:local.size].copy()
+        return out.reshape(local.shape)
+
+    def broadcast(self, rank: int, local: np.ndarray, root: int = 0) -> np.ndarray:
+        # As in LocalCollective.broadcast: publish through the per-rank slot
+        # (each rank writes only its own, so pre-barrier writes cannot race a
+        # straggler's read of the previous operation's result buffer).
+        rank = self._check_rank(rank)
+        root = self._check_rank(root)
+        local = np.asarray(local, dtype=np.float64)
+        self._check_size(local.size)
+        self._slot_view(rank, local.size)[:] = local.ravel()
+        self._barrier.wait()
+        out = self._slot_view(root, local.size).copy()
+        self._barrier.wait()
+        return out.reshape(local.shape)
+
+    def barrier(self, rank: int) -> None:
+        self._check_rank(rank)
+        self._barrier.wait()
+
+
+#: Named collective registrants ``ShardedTrainer(collective=...)`` accepts.
+COLLECTIVES: Dict[str, Type[Collective]] = {
+    "local": LocalCollective,
+    "shm": SharedMemoryCollective,
+    "multiprocessing": SharedMemoryCollective,
+}
+
+
+def register_collective(name: str, cls: Type[Collective]) -> None:
+    """Register a collective implementation under ``name``."""
+    if not issubclass(cls, Collective):
+        raise TypeError(f"{cls!r} is not a Collective subclass")
+    COLLECTIVES[name] = cls
+
+
+def make_collective(name: str, world_size: int, capacity: Optional[int] = None) -> Collective:
+    """Build a registered collective by name."""
+    try:
+        cls = COLLECTIVES[name]
+    except KeyError:
+        raise KeyError(f"unknown collective {name!r}; known: {sorted(COLLECTIVES)}") from None
+    return cls(world_size, capacity)

@@ -17,6 +17,15 @@ each minibatch's seed-row gradient by the window's total seed count, so with
 exactly — the equivalence the test suite pins bit-for-bit when one window
 covers the whole graph.
 
+Window accumulation is materialised as per-minibatch gradient *leaves*
+combined by the canonical pairwise tree of
+:func:`~repro.train.collective.tree_reduce` — an association that depends
+only on the window's global minibatch order, never on which worker computed
+which leaf.  That is the hook :class:`~repro.train.distributed.ShardedTrainer`
+builds on: N data-parallel shards all-reduce the same leaves and reduce them
+through the same tree, so sharded training reproduces this trainer bit for
+bit.
+
 Epoch boundaries call :meth:`~repro.graph.sampler.NeighborSampler.resample`,
 so under finite fanouts every epoch draws fresh neighborhoods while any
 epoch stays exactly reproducible from the sampler's base seed.
@@ -34,6 +43,7 @@ from repro.graph.sampler import Fanout, NeighborSampler
 from repro.runtime.module import CompiledRGNNModule
 from repro.runtime.multilayer import MultiLayerModule
 from repro.tensor import optim
+from repro.train.collective import tree_reduce
 from repro.train.objectives import resolve_objective
 from repro.train.stats import EpochStats, TrainStats
 
@@ -156,6 +166,17 @@ class MinibatchTrainer:
         self.shuffle_seed = int(shuffle_seed)
         self.stats = TrainStats()
         self._next_epoch = 0
+        self._flat_size = int(sum(p.data.size for p in self.model.parameters()))
+
+    @property
+    def num_layers(self) -> int:
+        """Model layers — the length of every per-epoch ``layer_edges`` list."""
+        return self.model.num_layers if self._is_stack else 1
+
+    @property
+    def flat_parameter_size(self) -> int:
+        """Total parameter scalars — the length of flat gradient leaves."""
+        return self._flat_size
 
     # ------------------------------------------------------------------
     def _epoch_minibatches(self, epoch: int) -> List[np.ndarray]:
@@ -212,11 +233,81 @@ class MinibatchTrainer:
         return loss_sum, block.num_nodes, block.num_edges, [block.num_edges]
 
     # ------------------------------------------------------------------
+    # window-gradient hooks (shared with repro.train.distributed)
+    # ------------------------------------------------------------------
+    def flat_gradient(self) -> np.ndarray:
+        """The model's parameter gradients as one flat float64 vector.
+
+        Parameters whose gradient is unset contribute zeros, so the vector
+        always has :attr:`flat_parameter_size` entries in parameter order.
+        """
+        parts = []
+        for parameter in self.model.parameters():
+            grad = parameter.grad
+            if grad is None:
+                parts.append(np.zeros(parameter.data.size))
+            else:
+                parts.append(np.asarray(grad, dtype=np.float64).ravel())
+        return np.concatenate(parts) if parts else np.zeros(0)
+
+    def flat_parameters(self) -> np.ndarray:
+        """The model's parameter values as one flat float64 vector."""
+        return np.concatenate([
+            np.asarray(p.data, dtype=np.float64).ravel() for p in self.model.parameters()
+        ])
+
+    def load_flat_parameters(self, flat: np.ndarray) -> None:
+        """Overwrite parameter values from a :meth:`flat_parameters` vector."""
+        flat = np.asarray(flat, dtype=np.float64).reshape(-1)
+        if flat.size != self._flat_size:
+            raise ValueError(f"expected {self._flat_size} parameter scalars, got {flat.size}")
+        offset = 0
+        for parameter in self.model.parameters():
+            size = parameter.data.size
+            parameter.data[...] = flat[offset:offset + size].reshape(parameter.data.shape)
+            offset += size
+
+    def minibatch_gradient(self, seeds: np.ndarray, normalizer: int):
+        """One minibatch's isolated gradient leaf.
+
+        Zeroes the model gradients, runs the minibatch's forward + backward
+        with seed-row gradients divided by ``normalizer`` (the window's total
+        seed count), and returns ``(leaf, (loss_sum, nodes, edges,
+        layer_edges))`` where ``leaf`` is the flat gradient vector.
+        """
+        if normalizer < 1:
+            raise ValueError(
+                f"window seed count must be >= 1 to normalise gradients, got {normalizer}"
+            )
+        self.model.zero_grad()
+        loss_sum, nodes, edges, layer_edges = self._train_minibatch(seeds, normalizer)
+        return self.flat_gradient(), (loss_sum, nodes, edges, layer_edges)
+
+    def apply_window_gradient(self, flat_grad: np.ndarray) -> None:
+        """Install a window's combined gradient and take the optimizer step."""
+        flat_grad = np.asarray(flat_grad, dtype=np.float64).reshape(-1)
+        if flat_grad.size != self._flat_size:
+            raise ValueError(f"expected {self._flat_size} gradient scalars, got {flat_grad.size}")
+        offset = 0
+        for parameter in self.model.parameters():
+            size = parameter.data.size
+            parameter.grad = flat_grad[offset:offset + size].reshape(parameter.data.shape).copy()
+            offset += size
+        self.optimizer.step()
+
+    # ------------------------------------------------------------------
     def epoch(self) -> EpochStats:
         """Run one training epoch; returns (and records) its statistics."""
         epoch_index = self._next_epoch
         self.sampler.resample(epoch_index)
         minibatches = self._epoch_minibatches(epoch_index)
+        if not any(len(batch) for batch in minibatches):
+            # Unreachable through the constructor (train_ids is validated
+            # non-empty) but reachable through the sharding hooks; fail with
+            # the argument named instead of dividing by a zero seed count.
+            raise ValueError(
+                f"epoch {epoch_index} has no training seeds to iterate (empty train_ids slice)"
+            )
         start = time.perf_counter()
         loss_total = 0.0
         nodes_total = 0
@@ -225,16 +316,24 @@ class MinibatchTrainer:
         steps = 0
         for window in self._windows(minibatches):
             window_seeds = int(sum(len(batch) for batch in window))
-            self.model.zero_grad()
+            if window_seeds == 0:
+                # A zero-seed tail window contributes no gradient; stepping
+                # the optimizer on it would desynchronise stateful optimizers
+                # (Adam's bias correction) from the sharded replicas.
+                continue
+            leaves = []
             for seeds in window:
-                loss_sum, nodes, edges, layer_edges = self._train_minibatch(seeds, window_seeds)
+                leaf, (loss_sum, nodes, edges, layer_edges) = self.minibatch_gradient(
+                    seeds, window_seeds
+                )
+                leaves.append(leaf)
                 loss_total += loss_sum
                 nodes_total += nodes
                 edges_total += edges
                 if not layer_edges_total:
                     layer_edges_total = [0] * len(layer_edges)
                 layer_edges_total = [a + b for a, b in zip(layer_edges_total, layer_edges)]
-            self.optimizer.step()
+            self.apply_window_gradient(tree_reduce(leaves))
             steps += 1
         seconds = time.perf_counter() - start
         record = EpochStats(
