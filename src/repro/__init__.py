@@ -38,7 +38,7 @@ from repro.runtime import MultiLayerModule
 from repro.serving import Router, ServingEngine
 from repro.train import MinibatchTrainer, ShardedTrainer
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "Backend",

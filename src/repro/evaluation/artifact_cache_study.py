@@ -1,0 +1,122 @@
+"""Artifact-cache study: cold vs warm compile time-to-first-run.
+
+The persistent codegen artifact cache
+(:mod:`repro.ir.codegen.artifact_cache`) lets a warm process — one that
+compiled the same (plan, options, schema) in an earlier run — skip source
+generation and ``compile()`` entirely.  This study measures that effect per
+model: each compile runs with the compilation cache disabled, so every call
+pays the frontend pipeline, and the cold/warm delta isolates exactly the
+work the artifact cache removes.  ``benchmarks/test_perf_regression.py``
+gates the ≥5× warm speedup; CI publishes this table in the job summary
+(``python -m repro.evaluation.artifact_cache_study --markdown``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+from repro.frontend.compiler import compile_model
+from repro.frontend.config import CompilerOptions
+from repro.graph.hetero_graph import HeteroGraph
+from repro.ir.codegen.artifact_cache import CACHE_ENV, artifact_cache_stats
+from repro.evaluation.backend_study import default_study_graph
+from repro.evaluation.reporting import format_markdown_table
+
+
+def artifact_cache_study(
+    models: Optional[List[str]] = None,
+    graph: Optional[HeteroGraph] = None,
+    dim: int = 16,
+    backend: str = "mixed",
+    warm_repeats: int = 5,
+) -> Dict[str, object]:
+    """Cold vs warm compile times against a private artifact directory.
+
+    Repoints ``$REPRO_CODEGEN_CACHE`` at a fresh temporary directory (the
+    override is re-resolved per compile, exactly so tools like this can do
+    it), compiles each model once cold and ``warm_repeats`` times warm, and
+    reports the best warm time plus the hit/miss counters.  The original
+    environment is restored on exit.
+    """
+    models = models or ["rgcn", "rgat", "hgt"]
+    graph = graph if graph is not None else default_study_graph()
+    options = CompilerOptions(
+        backend=backend, emit_backward=True, enable_compilation_cache=False
+    )
+
+    previous = os.environ.get(CACHE_ENV)
+    rows: List[Dict[str, object]] = []
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-artifact-study-") as tmp:
+            os.environ[CACHE_ENV] = tmp
+            for model in models:
+                start = time.perf_counter()
+                compile_model(model, graph, in_dim=dim, out_dim=dim, options=options)
+                cold = time.perf_counter() - start
+                warm = float("inf")
+                for _ in range(warm_repeats):
+                    start = time.perf_counter()
+                    compile_model(model, graph, in_dim=dim, out_dim=dim, options=options)
+                    warm = min(warm, time.perf_counter() - start)
+                rows.append(
+                    {
+                        "model": model,
+                        "backend": backend,
+                        "cold_ms": round(cold * 1e3, 2),
+                        "warm_ms": round(warm * 1e3, 2),
+                        "speedup": round(cold / warm, 1),
+                    }
+                )
+            stats = artifact_cache_stats()
+    finally:
+        if previous is None:
+            os.environ.pop(CACHE_ENV, None)
+        else:
+            os.environ[CACHE_ENV] = previous
+    return {
+        "graph": graph.name,
+        "dim": dim,
+        "rows": rows,
+        "stats": stats,
+        "min_speedup": min(row["speedup"] for row in rows),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    """CLI entry point; ``--markdown`` targets the CI job summary."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--models", nargs="+", default=["rgcn", "rgat", "hgt"],
+                        choices=["rgcn", "rgat", "hgt"])
+    parser.add_argument("--dim", type=int, default=16)
+    parser.add_argument("--backend", default="mixed")
+    parser.add_argument("--warm-repeats", type=int, default=5)
+    parser.add_argument("--markdown", action="store_true",
+                        help="emit a GitHub-flavoured markdown table (for $GITHUB_STEP_SUMMARY)")
+    args = parser.parse_args(argv)
+    study = artifact_cache_study(
+        models=args.models, dim=args.dim, backend=args.backend,
+        warm_repeats=args.warm_repeats,
+    )
+    rows = list(study["rows"])
+    stats = study["stats"]
+    if args.markdown:
+        print(f"### Artifact cache — cold vs warm compile on {study['graph']} (d={study['dim']})")
+        print()
+        print(format_markdown_table(rows))
+        print()
+        print(f"**Minimum warm speedup: {study['min_speedup']}×** "
+              f"(cache: {stats['hits']} hits, {stats['misses']} misses, "
+              f"{stats['stores']} stores)")
+    else:
+        from repro.evaluation.reporting import format_table
+
+        print(format_table(rows, title="Artifact cache — cold vs warm compile"))
+        print(f"min warm speedup: {study['min_speedup']}x; stats: {stats}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,8 +1,8 @@
-"""Backend study: python-codegen vs python-interp throughput per plan.
+"""Backend study: python-codegen / mixed vs python-interp throughput per plan.
 
 The platform-characterisation companion of the backend registry
 (:mod:`repro.ir.codegen.registry`): for each model it compiles the same plan
-under both executing backends, verifies the outputs agree, and reports
+under every executing backend, verifies the outputs agree, and reports
 compile-once-run-many throughput side by side — forward-only (serving) and
 forward+backward (training).  ``benchmarks/test_perf_regression.py`` gates on
 the forward speedup; CI publishes the table in the job summary
@@ -24,7 +24,7 @@ from repro.graph.hetero_graph import HeteroGraph
 from repro.evaluation.reporting import format_markdown_table
 
 #: The executing backends the study compares (registry names).
-BACKENDS = ("python-interp", "python-codegen")
+BACKENDS = ("python-interp", "python-codegen", "mixed")
 
 
 def default_study_graph(seed: int = 23) -> HeteroGraph:
@@ -94,11 +94,13 @@ def backend_study(
                         module.backward(seeds)
 
                 times[backend] = _best_time(step, iterations, repeats)
-            for name in outputs[BACKENDS[0]]:
-                np.testing.assert_allclose(
-                    outputs[BACKENDS[0]][name], outputs[BACKENDS[1]][name], atol=1e-12
-                )
+            for other in BACKENDS[1:]:
+                for name in outputs[BACKENDS[0]]:
+                    np.testing.assert_allclose(
+                        outputs[BACKENDS[0]][name], outputs[other][name], atol=1e-12
+                    )
             speedup = times["python-interp"] / times["python-codegen"]
+            speedup_mixed = times["python-interp"] / times["mixed"]
             if not train:
                 best_forward = max(best_forward, speedup)
             rows.append(
@@ -107,7 +109,9 @@ def backend_study(
                     "mode": mode,
                     "interp_us": round(times["python-interp"] * 1e6, 1),
                     "codegen_us": round(times["python-codegen"] * 1e6, 1),
+                    "mixed_us": round(times["mixed"] * 1e6, 1),
                     "speedup": round(speedup, 2),
+                    "speedup_mixed": round(speedup_mixed, 2),
                 }
             )
     return {
@@ -134,7 +138,7 @@ def main(argv: Optional[List[str]] = None) -> None:
     )
     rows = list(study["rows"])
     if args.markdown:
-        print(f"### Backend study — codegen vs interp on {study['graph']} (d={study['dim']})")
+        print(f"### Backend study — codegen / mixed vs interp on {study['graph']} (d={study['dim']})")
         print()
         print(format_markdown_table(rows))
         print()
@@ -143,7 +147,7 @@ def main(argv: Optional[List[str]] = None) -> None:
     else:
         from repro.evaluation.reporting import format_table
 
-        print(format_table(rows, title="Backend study — python-codegen vs python-interp"))
+        print(format_table(rows, title="Backend study — python-codegen / mixed vs python-interp"))
         print(f"best forward speedup: {study['best_forward_speedup']}x")
 
 

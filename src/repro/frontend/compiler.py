@@ -103,7 +103,9 @@ def compile_program(
         )
     if cache is None and options.enable_compilation_cache:
         cache = global_compilation_cache()
-    key = make_cache_key(program, options, graph) if cache is not None else None
+    # The key is computed even with caching disabled: it also derives the
+    # persistent artifact-cache key for the generated-source backends.
+    key = make_cache_key(program, options, graph)
     if cache is not None:
         cached = cache.lookup(key)
         if cached is not None:
@@ -122,11 +124,22 @@ def compile_program(
     plan.name = f"{program.name}_{options.label()}"
     plan.metadata["memory_planning_enabled"] = options.enable_memory_planning
     plan.metadata["backend"] = backend.name
+    workload = None
+    if graph is not None and options.backend == "mixed" and options.mixed_assignment is None:
+        # evaluation sits above frontend in the layering; import lazily.
+        from repro.evaluation.workload import WorkloadSpec
+
+        workload = WorkloadSpec.from_graph(graph, in_dim=program.in_dim, out_dim=program.out_dim)
+    from repro.ir.codegen.artifact_cache import artifact_key_for
+
     generated = backend.generate(
         plan,
         BackendOptions(
             num_edge_types=graph.num_edge_types if graph is not None else None,
             num_node_types=graph.num_node_types if graph is not None else None,
+            workload=workload,
+            mixed_assignment=options.mixed_assignment,
+            artifact_key=artifact_key_for(key),
         ),
     )
     result = CompilationResult(

@@ -165,6 +165,7 @@ def build_codegen_module(
     plan: KernelPlan,
     num_edge_types: Optional[int] = None,
     num_node_types: Optional[int] = None,
+    artifact_key: Optional[str] = None,
 ) -> GeneratedModule:
     """Generate and compile the whole-plan ``main_forward``/``main_backward``.
 
@@ -178,11 +179,18 @@ def build_codegen_module(
             plan is specialised for; when given, per-relation segment loops
             are unrolled into straight-line code.  ``None`` (no graph at
             compile time) keeps runtime loops.
+        artifact_key: persistent-cache key for the generated artifact
+            (:mod:`repro.ir.codegen.artifact_cache`); a warm process skips
+            generation and source compilation.  ``None`` disables persistence.
     """
-    generator = _WholePlanGenerator(plan, num_edge_types, num_node_types)
-    source = generator.generate()
+    from repro.ir.codegen.artifact_cache import load_or_generate
+
+    def generate() -> str:
+        return _WholePlanGenerator(plan, num_edge_types, num_node_types).generate()
+
+    source, code = load_or_generate(artifact_key, f"<hector-codegen:{plan.name}>", generate)
     namespace: Dict[str, object] = {}
-    exec(compile(source, f"<hector-codegen:{plan.name}>", "exec"), namespace)
+    exec(code, namespace)
     return GeneratedModule(
         source=source,
         forward_functions={},
@@ -207,10 +215,21 @@ class _WholePlanGenerator(_PythonKernelGenerator):
         plan: KernelPlan,
         num_edge_types: Optional[int] = None,
         num_node_types: Optional[int] = None,
+        occupancy: Optional[tuple] = None,
     ):
         super().__init__(plan)
         self.num_edge_types = num_edge_types
         self.num_node_types = num_node_types
+        #: ``(edge_mask, node_mask)`` bool tuples from a bound graph, or
+        #: ``None``: with a mask, only *occupied* relations are unrolled —
+        #: even past ``MAX_UNROLL_SEGMENTS`` — so empty relations cost
+        #: nothing per call (rebind-time occupancy specialisation).
+        self.occupancy = occupancy
+        #: Gradient locals (``_b_grad_*``) possibly written before this
+        #: generator's output runs — the mixed backend sets this per segment
+        #: so fresh-scatter specialisation stays sound across interp/codegen
+        #: boundaries.
+        self.pre_touched: Set[str] = set()
 
     # ------------------------------------------------------------------
     def generate(self) -> str:
@@ -282,6 +301,13 @@ class _WholePlanGenerator(_PythonKernelGenerator):
 
     def _maybe_unroll(self, body: List[str], kernel: KernelInstance) -> List[str]:
         count = self._segment_count(kernel)
+        mask = self._segment_mask(kernel)
+        if (
+            mask is not None
+            and count == len(mask)
+            and sum(mask) <= MAX_UNROLL_SEGMENTS
+        ):
+            return self._unroll_segments(body, count, mask=mask)
         if count is not None and 0 < count <= MAX_UNROLL_SEGMENTS:
             body = self._unroll_segments(body, count)
         return body
@@ -504,17 +530,33 @@ class _WholePlanGenerator(_PythonKernelGenerator):
         ``+=`` or non-``_ensure_grad`` rebind marks the buffer touched so
         later sites keep the accumulating ``np.add.at``.  Output gradients
         are never specialised: their seed is caller data, not zeros.
+
+        Sites inside a *runtime* segment loop (relation count unknown or past
+        the unroll limit) are never specialised: the loop body executes once
+        per segment, so even a first-in-program-order scatter re-touches its
+        target on the second iteration — ``_scatter_fresh``'s full overwrite
+        would clobber the earlier segments' contributions.  Unrolled bodies
+        are unaffected (each per-relation copy is its own site).
         """
         outputs = set(self.plan.output_names)
         alias: Dict[str, str] = {}
-        touched: Set[str] = set()
+        touched: Set[str] = set(self.pre_touched)
         result: List[str] = []
         last_y_ensure: Optional[int] = None
+        in_loop = False
         for line in body:
+            if line == _SEGMENT_LOOP:
+                in_loop = True
+            elif in_loop and line.strip() and len(line) - len(line.lstrip()) <= 4:
+                in_loop = False
             match = _SCATTER_STMT.match(line)
             if match:
                 indent, target, args = match.groups()
                 buffer = alias.get(target, target)
+                if in_loop:
+                    touched.add(buffer)
+                    result.append(line)
+                    continue
                 if direction == "forward":
                     fresh = target == "Y"
                     if fresh and last_y_ensure is not None:
@@ -645,8 +687,43 @@ class _WholePlanGenerator(_PythonKernelGenerator):
             return self.num_node_types
         return None
 
-    def _unroll_segments(self, body: List[str], count: int) -> List[str]:
-        """Replace ``for t in range(num_segments)`` with per-relation blocks."""
+    def _segment_mask(self, kernel: KernelInstance) -> Optional[tuple]:
+        """Per-segment occupancy of the kernel's launch loop, if bound.
+
+        Mirrors :meth:`_segment_count`'s space dispatch against the
+        ``occupancy`` masks captured from a bound graph; ``None`` when the
+        generator is not occupancy-specialised or the kernel has no typed
+        segment loop.
+        """
+        if self.occupancy is None:
+            return None
+        if not isinstance(kernel, GemmKernel) or kernel.type_selector == "none":
+            return None
+        from repro.ir.inter_op.space import Space
+
+        edge_mask, node_mask = self.occupancy
+        if kernel.m_space in (Space.EDGE, Space.COMPACT):
+            return edge_mask
+        if kernel.m_space is Space.NODE and kernel.type_selector in (
+            "ntype",
+            "src_ntype",
+            "dst_ntype",
+        ):
+            return node_mask
+        return None
+
+    def _unroll_segments(
+        self, body: List[str], count: int, mask: Optional[tuple] = None
+    ) -> List[str]:
+        """Replace ``for t in range(num_segments)`` with per-relation blocks.
+
+        With an occupancy ``mask``, empty relations emit nothing at all —
+        each occupied relation's block is identical to the unmasked unroll
+        (the ``end > start`` guard stays, so the occupied blocks are
+        bit-identical text), which is what lets a 300-relation schema with a
+        handful of occupied relations run as a handful of straight-line
+        blocks.
+        """
         try:
             loop_at = body.index("    for t in range(num_segments):")
         except ValueError:
@@ -660,6 +737,8 @@ class _WholePlanGenerator(_PythonKernelGenerator):
         segment_body = body[loop_at + 4 :]
         unrolled = body[:loop_at]
         for t in range(count):
+            if mask is not None and not mask[t]:
+                continue
             unrolled.append(f"    start, end = seg_ptr[{t}], seg_ptr[{t + 1}]")
             unrolled.append("    if end > start:")
             for line in segment_body:

@@ -1,0 +1,382 @@
+"""Per-kernel mixed-backend execution: interp kernels + whole-plan segments.
+
+The registry's two executing backends are both all-or-nothing: ``python-interp``
+pays a function call and env lookups per kernel but runs numpy-bound traversal
+kernels at full speed, while ``python-codegen`` erases dispatch for the whole
+plan but cannot beat the interpreter where numpy does all the work anyway.
+Hector's cost model already prices kernels *individually* — so this backend
+chooses per kernel, the way roofline-driven HPC characterisations pick an
+implementation per primitive rather than one global winner:
+
+* each kernel in the plan is assigned ``interp`` or ``codegen`` — explicitly
+  (``CompilerOptions.mixed_assignment``, e.g. from the tuner's beam search),
+  or from the cost model's per-kernel bound classification (dispatch/latency
+  bound → codegen, memory/compute bound traversal → interp);
+* maximal runs of codegen-assigned kernels become whole-plan segment
+  functions (``_seg_forward_0`` …) emitted by the ``python-codegen``
+  generator — inlined, localised, unrolled, with its whole-plan rewrites —
+  while interp-assigned kernels keep their verbatim per-kernel functions;
+* one ``main_forward``/``main_backward`` dispatcher calls them in plan
+  order.  Everything lives in one generated source, compiled once.
+
+All kernels communicate through the shared ``env`` dict exactly as both pure
+backends do, so the hand-off across segment boundaries is bit-exact by
+construction; the only whole-plan rewrite with cross-kernel reach —
+fresh-scatter specialisation — is made boundary-aware by seeding each
+segment's generator with the gradients earlier kernels may already have
+written (``pre_touched``).  The mixed module declares
+``seeds_gradients=False`` so the executor eagerly zero-seeds gradients the
+way the interp kernels expect; the codegen segments' guarded reads find those
+seeds and accumulate bit-identically.
+
+On top of the per-kernel split, the module re-specialises *per bound graph*:
+:meth:`MixedGeneratedModule.specialise_for_occupancy` re-emits the codegen
+segments unrolled over only the *occupied* relations of the bound graph's
+schema (``GraphBinding`` calls it at bind time), with a per-occupancy-
+signature memo so rebinding to a same-shaped graph reuses the compiled
+functions.  A 300-relation schema with four live relations runs four
+straight-line blocks instead of a 300-iteration launch loop per GEMM.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.ir.intra_op.kernels import KernelInstance
+from repro.ir.intra_op.plan import KernelPlan
+
+from repro.ir.codegen.codegen_backend import (
+    MAX_UNROLL_SEGMENTS,
+    _CODEGEN_PREAMBLE,
+    _WholePlanGenerator,
+)
+from repro.ir.codegen.python_backend import GeneratedModule
+
+#: Assignment tokens: which executor a kernel runs on.
+ASSIGN_INTERP = "interp"
+ASSIGN_CODEGEN = "codegen"
+ASSIGN_TOKENS = (ASSIGN_INTERP, ASSIGN_CODEGEN)
+
+
+# ----------------------------------------------------------------------
+# Assignment: explicit > cost model > structural default
+# ----------------------------------------------------------------------
+def resolve_assignment(
+    plan: KernelPlan,
+    workload=None,
+    explicit: Optional[Sequence[Tuple[str, str]]] = None,
+    device=None,
+) -> Dict[str, str]:
+    """Per-kernel backend assignment for every kernel in the plan.
+
+    Explicit ``(kernel_name, token)`` pairs win; unnamed kernels fall back to
+    the cost model when a workload is known (traversal kernels whose modelled
+    time is launch-latency bound gain from inlining; memory/compute-bound
+    ones keep the interpreter's plain numpy path), else to the structural
+    default: GEMM/fallback chains → codegen, traversal → interp.
+    """
+    kernels = list(plan.forward_kernels) + list(plan.backward_kernels)
+    names = {kernel.name for kernel in kernels}
+    explicit_map = dict(explicit or ())
+    unknown = sorted(set(explicit_map) - names)
+    if unknown:
+        raise ValueError(
+            f"mixed_assignment names unknown kernels {unknown}; "
+            f"plan kernels: {sorted(names)}"
+        )
+    bad = sorted({t for t in explicit_map.values() if t not in ASSIGN_TOKENS})
+    if bad:
+        raise ValueError(f"unknown mixed_assignment tokens {bad}; use one of {ASSIGN_TOKENS}")
+    assignment: Dict[str, str] = {}
+    for kernel in kernels:
+        token = explicit_map.get(kernel.name)
+        if token is None:
+            token = _default_token(kernel, workload, device)
+        assignment[kernel.name] = token
+    return assignment
+
+
+def _default_token(kernel: KernelInstance, workload, device) -> str:
+    if getattr(kernel, "category", "fallback") != "traversal":
+        return ASSIGN_CODEGEN
+    if workload is None:
+        return ASSIGN_INTERP
+    from repro.gpu.costmodel import RTX_3090, estimate_kernel_time, kernel_work_from_instance
+
+    device = device if device is not None else RTX_3090
+    work = kernel_work_from_instance(kernel, workload, device=device)
+    time = estimate_kernel_time(work, device)
+    return ASSIGN_CODEGEN if time.bound == "latency" else ASSIGN_INTERP
+
+
+def _partition_runs(
+    kernels: Sequence[KernelInstance], assignment: Dict[str, str]
+) -> List[Tuple[str, List[KernelInstance]]]:
+    """Maximal runs of same-assignment kernels, in plan order."""
+    runs: List[Tuple[str, List[KernelInstance]]] = []
+    for kernel in kernels:
+        token = assignment[kernel.name]
+        if runs and runs[-1][0] == token:
+            runs[-1][1].append(kernel)
+        else:
+            runs.append((token, [kernel]))
+    return runs
+
+
+def _grad_bases(kernel: KernelInstance) -> Set[str]:
+    """Buffers whose gradients ``kernel`` may write (overapproximation-safe).
+
+    Used to seed a following codegen segment's ``pre_touched`` set: a buffer
+    wrongly included only disables fresh-scatter specialisation for it, a
+    buffer wrongly *excluded* would corrupt gradients, so backward traversal
+    kernels (which carry the forward micro-op list and write the adjoint of
+    every statement input) contribute all their micro-op operands.
+    """
+    bases: Set[str] = set()
+    for name in kernel.written_buffers():
+        if name.startswith("grad_"):
+            bases.add(name[len("grad_") :])
+    micro_ops = getattr(kernel, "micro_ops", None)
+    if micro_ops is not None and kernel.direction == "backward":
+        for op in micro_ops:
+            bases.update(op.inputs)
+            bases.add(op.output)
+    return bases
+
+
+def occupancy_signature(ctx) -> Tuple[tuple, tuple]:
+    """Which relations/node types of the bound graph hold any rows.
+
+    Compact-space segment pointers share the edge mask: a relation has
+    unique (source, type) pairs iff it has edges.
+    """
+    edge = tuple(bool(x) for x in np.diff(ctx.etype_ptr) > 0)
+    node = tuple(bool(x) for x in np.diff(ctx.ntype_ptr) > 0)
+    return edge, node
+
+
+# ----------------------------------------------------------------------
+# Generation
+# ----------------------------------------------------------------------
+class _MixedPlanGenerator(_WholePlanGenerator):
+    """Emit interp kernel functions + codegen segments + plan-order dispatchers.
+
+    Interp-assigned kernels reuse the parent interp templates *verbatim*
+    (same functions the ``python-interp`` backend executes); codegen runs go
+    through :class:`_WholePlanGenerator`'s whole-plan pipeline with
+    ``pre_touched`` seeded from everything earlier in the plan.
+    """
+
+    def __init__(
+        self,
+        plan: KernelPlan,
+        num_edge_types: Optional[int] = None,
+        num_node_types: Optional[int] = None,
+        assignment: Optional[Dict[str, str]] = None,
+        occupancy: Optional[tuple] = None,
+    ):
+        super().__init__(plan, num_edge_types, num_node_types, occupancy=occupancy)
+        self.assignment = dict(assignment or {})
+
+    def generate(self) -> str:
+        chunks = [_CODEGEN_PREAMBLE]
+        for direction, kernels, main in (
+            ("forward", self.plan.forward_kernels, "main_forward"),
+            ("backward", self.plan.backward_kernels, "main_backward"),
+        ):
+            runs = _partition_runs(kernels, self.assignment)
+            counts = {ASSIGN_INTERP: 0, ASSIGN_CODEGEN: 0}
+            for kernel in kernels:
+                counts[self.assignment[kernel.name]] += 1
+            dispatch = [f"def {main}(env, ctx):"]
+            dispatch.append(
+                f'    """Mixed {direction} of {self.plan.name}: '
+                f'{counts[ASSIGN_INTERP]} interp kernels, '
+                f'{counts[ASSIGN_CODEGEN]} codegen-segment kernels."""'
+            )
+            touched: Set[str] = set()
+            for index, (token, run) in enumerate(runs):
+                if token == ASSIGN_CODEGEN:
+                    seg_name = f"_seg_{direction}_{index}"
+                    self.pre_touched = (
+                        {f"_b_grad_{base}" for base in touched}
+                        if direction == "backward"
+                        else set()
+                    )
+                    chunks.append(self._generate_main(seg_name, direction, run))
+                    dispatch.append(f"    {seg_name}(env, ctx)")
+                else:
+                    for kernel in run:
+                        chunks.append(self._generate_kernel(kernel))
+                        dispatch.append(f"    kernel_{kernel.name}(env, ctx)")
+                if direction == "backward":
+                    for kernel in run:
+                        touched |= _grad_bases(kernel)
+            dispatch.append("    return env")
+            chunks.append("\n".join(dispatch))
+        return "\n\n".join(chunks) + "\n"
+
+
+class MixedGeneratedModule:
+    """GeneratedModule-shaped mixed artifact plus bind-time respecialisation.
+
+    Duck-typed to what :class:`~repro.runtime.executor.PlanExecutor` and the
+    runtime introspection need (``source``, ``forward_program``,
+    ``backward_program``, ``seeds_gradients``, ``line_count``), and carries
+    the per-occupancy-signature memo that ``CompiledRGNNModule.
+    generated_for`` consults at bind time.
+    """
+
+    def __init__(
+        self,
+        source: str,
+        forward_program,
+        backward_program,
+        plan: KernelPlan,
+        num_edge_types: Optional[int],
+        num_node_types: Optional[int],
+        assignment: Dict[str, str],
+        artifact_key: Optional[str] = None,
+    ):
+        self.source = source
+        self.forward_functions: Dict[str, object] = {}
+        self.backward_functions: Dict[str, object] = {}
+        self.forward_program = forward_program
+        self.backward_program = backward_program
+        self.seeds_gradients = False
+        self.plan = plan
+        self.num_edge_types = num_edge_types
+        self.num_node_types = num_node_types
+        self.assignment = dict(assignment)
+        self.artifact_key = artifact_key
+        self._lock = threading.Lock()
+        self._occupancy_memo: Dict[tuple, GeneratedModule] = {}
+        self.occupancy_hits = 0
+        self.occupancy_misses = 0
+
+    def line_count(self) -> int:
+        return len(self.source.splitlines())
+
+    def assignment_counts(self) -> Dict[str, int]:
+        counts = {ASSIGN_INTERP: 0, ASSIGN_CODEGEN: 0}
+        for token in self.assignment.values():
+            counts[token] += 1
+        return counts
+
+    def occupancy_stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.occupancy_hits,
+                "misses": self.occupancy_misses,
+                "variants": len(self._occupancy_memo),
+            }
+
+    # ------------------------------------------------------------------
+    def specialise_for_occupancy(self, ctx) -> object:
+        """The variant of this module specialised to ``ctx``'s occupancy.
+
+        Called at bind time.  Returns ``self`` when specialisation cannot
+        change the emitted source (schema unknown at compile time, mask
+        shape mismatch, or everything occupied within the unroll limit);
+        otherwise a memoised per-signature :class:`GeneratedModule`.
+        """
+        if self.num_edge_types is None or self.num_node_types is None:
+            return self
+        sig = occupancy_signature(ctx)
+        if len(sig[0]) != self.num_edge_types or len(sig[1]) != self.num_node_types:
+            return self
+        if (
+            all(sig[0])
+            and all(sig[1])
+            and max(self.num_edge_types, self.num_node_types) <= MAX_UNROLL_SEGMENTS
+        ):
+            return self
+        with self._lock:
+            cached = self._occupancy_memo.get(sig)
+            if cached is not None:
+                self.occupancy_hits += 1
+                return cached
+            self.occupancy_misses += 1
+        variant = self._build_variant(sig)
+        with self._lock:
+            return self._occupancy_memo.setdefault(sig, variant)
+
+    def _build_variant(self, sig: tuple) -> GeneratedModule:
+        from repro.ir.codegen.artifact_cache import artifact_key_for, load_or_generate
+
+        key = None
+        if self.artifact_key is not None:
+            key = artifact_key_for(self.artifact_key, ("occupancy", sig))
+
+        def generate() -> str:
+            return _MixedPlanGenerator(
+                self.plan,
+                self.num_edge_types,
+                self.num_node_types,
+                assignment=self.assignment,
+                occupancy=sig,
+            ).generate()
+
+        source, code = load_or_generate(key, f"<hector-mixed:{self.plan.name}:occupancy>", generate)
+        namespace: Dict[str, object] = {}
+        exec(code, namespace)
+        return GeneratedModule(
+            source=source,
+            forward_functions={},
+            backward_functions={},
+            forward_program=namespace["main_forward"],
+            backward_program=namespace["main_backward"],
+            seeds_gradients=False,
+        )
+
+
+def build_mixed_module(
+    plan: KernelPlan,
+    num_edge_types: Optional[int] = None,
+    num_node_types: Optional[int] = None,
+    workload=None,
+    assignment: Optional[Sequence[Tuple[str, str]]] = None,
+    artifact_key: Optional[str] = None,
+) -> MixedGeneratedModule:
+    """Generate and compile the mixed module (the ``mixed`` registrant).
+
+    Args:
+        plan: the lowered kernel plan.
+        num_edge_types / num_node_types: schema relation counts (as for
+            ``build_codegen_module``).
+        workload: optional :class:`~repro.evaluation.workload.WorkloadSpec`
+            for cost-model-guided default assignment.
+        assignment: explicit ``(kernel_name, token)`` overrides (the tuner's
+            beam output); unnamed kernels fall back to the default policy.
+        artifact_key: persistent-cache base key; the resolved assignment is
+            folded in, since workload-derived assignments can differ under
+            one compilation key.
+    """
+    from repro.ir.codegen.artifact_cache import artifact_key_for, load_or_generate
+
+    resolved = resolve_assignment(plan, workload=workload, explicit=assignment)
+    key = None
+    if artifact_key is not None:
+        key = artifact_key_for(artifact_key, ("assignment", tuple(sorted(resolved.items()))))
+
+    def generate() -> str:
+        return _MixedPlanGenerator(
+            plan, num_edge_types, num_node_types, assignment=resolved
+        ).generate()
+
+    source, code = load_or_generate(key, f"<hector-mixed:{plan.name}>", generate)
+    namespace: Dict[str, object] = {}
+    exec(code, namespace)
+    return MixedGeneratedModule(
+        source=source,
+        forward_program=namespace["main_forward"],
+        backward_program=namespace["main_backward"],
+        plan=plan,
+        num_edge_types=num_edge_types,
+        num_node_types=num_node_types,
+        assignment=resolved,
+        artifact_key=artifact_key,
+    )

@@ -20,6 +20,10 @@ Three backends are registered on import:
 * ``python-codegen`` — one specialised whole-plan ``main_forward`` /
   ``main_backward`` source function, kernels inlined and segment loops
   unrolled (:func:`repro.ir.codegen.codegen_backend.build_codegen_module`).
+* ``mixed`` — per-kernel backend selection: interp functions for
+  numpy-bound traversal kernels, whole-plan codegen segments for
+  dispatch-bound chains, one dispatcher in plan order
+  (:func:`repro.ir.codegen.mixed_backend.build_mixed_module`).
 * ``cuda-emit`` — CUDA-like source text only
   (:func:`repro.ir.codegen.cuda_backend.build_cuda_source`); inspection and
   the programming-effort metric, never execution.
@@ -50,10 +54,23 @@ class BackendOptions:
             codegen backend unrolls its per-relation launch loops); the cache
             key already includes the schema fingerprint, so schema-specialised
             artifacts never leak across schemas.
+        workload: optional :class:`~repro.evaluation.workload.WorkloadSpec`
+            of the compile-time graph; the mixed backend prices kernels with
+            it to choose per-kernel executors.
+        mixed_assignment: explicit per-kernel ``(name, "interp"|"codegen")``
+            overrides (``CompilerOptions.mixed_assignment``) for the mixed
+            backend; other backends ignore it.
+        artifact_key: persistent artifact-cache key derived from the
+            compilation-cache key (:func:`repro.ir.codegen.artifact_cache.
+            artifact_key_for`); backends that generate-and-``exec`` use it to
+            skip both on a warm process.  ``None`` disables persistence.
     """
 
     num_edge_types: Optional[int] = None
     num_node_types: Optional[int] = None
+    workload: Optional[object] = None
+    mixed_assignment: Optional[tuple] = None
+    artifact_key: Optional[str] = None
 
 
 @dataclass
@@ -134,8 +151,8 @@ def get_backend(name: str) -> Backend:
 
 
 def available_backends() -> Tuple[str, ...]:
-    """Names of every registered backend, in registration order."""
-    return tuple(_REGISTRY)
+    """Names of every registered backend, sorted (deterministic across runs)."""
+    return tuple(sorted(_REGISTRY))
 
 
 # ----------------------------------------------------------------------
@@ -171,6 +188,29 @@ class PythonCodegenBackend(Backend):
             plan,
             num_edge_types=options.num_edge_types,
             num_node_types=options.num_node_types,
+            artifact_key=options.artifact_key,
+        )
+
+
+class MixedBackend(Backend):
+    """Per-kernel interp/codegen selection behind one generated dispatcher."""
+
+    name = "mixed"
+    executes = True
+    emits_source = True
+    supports_training = True
+
+    def generate(self, plan: KernelPlan, options: Optional[BackendOptions] = None):
+        from repro.ir.codegen.mixed_backend import build_mixed_module
+
+        options = options or BackendOptions()
+        return build_mixed_module(
+            plan,
+            num_edge_types=options.num_edge_types,
+            num_node_types=options.num_node_types,
+            workload=options.workload,
+            assignment=options.mixed_assignment,
+            artifact_key=options.artifact_key,
         )
 
 
@@ -190,4 +230,5 @@ class CudaEmitBackend(Backend):
 
 register_backend(PythonInterpBackend())
 register_backend(PythonCodegenBackend())
+register_backend(MixedBackend())
 register_backend(CudaEmitBackend())

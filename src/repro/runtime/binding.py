@@ -57,7 +57,10 @@ class GraphBinding:
         self.ctx = ctx
         self.arena_lease = arena_lease
         self.label = label
-        self.executor = PlanExecutor(module.plan, module.generated, arena=arena_lease)
+        # Bind-time respecialisation hook: backends with per-graph variants
+        # (mixed-backend occupancy specialisation) pick the variant here, once
+        # per binding, instead of per call.
+        self.executor = PlanExecutor(module.plan, module.generated_for(ctx), arena=arena_lease)
         self._last_env: Optional[Dict[str, np.ndarray]] = None
         self._forward_generation: Optional[int] = None
 

@@ -259,12 +259,40 @@ class CompiledRGNNModule:
         """The generated Python kernel source for this module's plan."""
         return self.generated.source
 
+    def generated_for(self, ctx) -> object:
+        """The generated module specialised for a bound graph context.
+
+        Backends that re-specialise per binding (the mixed backend's
+        occupancy-signature variants) expose ``specialise_for_occupancy``;
+        everything else executes the shared generated module as-is.
+        ``GraphBinding`` calls this once at bind time.
+        """
+        specialise = getattr(self.generated, "specialise_for_occupancy", None)
+        if specialise is None:
+            return self.generated
+        return specialise(ctx)
+
     def summary(self) -> Dict[str, object]:
-        """Plan summary plus parameter count (for reports and tests)."""
+        """Plan summary plus parameter count (for reports and tests).
+
+        Backend telemetry rides along: the persistent artifact cache's
+        hit/miss counters (process-wide), and — for mixed-backend modules —
+        the per-kernel assignment counts and the occupancy-respecialisation
+        memo counters.
+        """
+        from repro.ir.codegen.artifact_cache import artifact_cache_stats
+
         info = self.plan.summary()
         info["backend"] = self.backend
         info["num_parameters"] = self.num_parameters()
         info["graph"] = (
             self._default_binding.graph.name if self._default_binding is not None else str(self.schema)
         )
+        info["artifact_cache"] = artifact_cache_stats()
+        assignment_counts = getattr(self.generated, "assignment_counts", None)
+        if assignment_counts is not None:
+            info["mixed_assignment"] = assignment_counts()
+        occupancy_stats = getattr(self.generated, "occupancy_stats", None)
+        if occupancy_stats is not None:
+            info["occupancy"] = occupancy_stats()
         return info

@@ -1,0 +1,93 @@
+"""Beam search over per-kernel backend choices for the mixed backend.
+
+The mixed backend (:mod:`repro.ir.codegen.mixed_backend`) runs each kernel on
+either the interp executor or inside a whole-plan codegen segment.  The
+search space is ``2^num_kernels`` assignments, but the objective — modelled
+*host-side* overhead, the only thing the choice changes (the numpy work is
+identical and bit-identical either way) — is local: a kernel's cost depends
+only on its own token and whether it opens a new codegen segment.  A small
+beam therefore finds the optimum while staying deterministic and fast.
+
+The per-kernel terms, seeded from the roofline cost model's bound
+classification (the same signal ``resolve_assignment`` uses):
+
+* an interp-assigned kernel pays a function call + ``env`` lookups
+  (:data:`DISPATCH_US`);
+* a codegen-assigned kernel pays almost nothing (:data:`INLINE_US`), but a
+  traversal kernel whose modelled time is *not* launch-latency bound gains
+  nothing from inlining — numpy dominates — and gives up the interp path's
+  plain-kernel execution (:data:`NONLATENCY_CODEGEN_US`);
+* each maximal codegen run pays one segment-function call
+  (:data:`SEGMENT_CALL_US`), so the beam prefers contiguous segments — it
+  will flip a lone cheap kernel sandwiched between two GEMM chains into the
+  segment rather than split it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.gpu.costmodel import estimate_kernel_time, kernel_work_from_instance
+from repro.gpu.device import DeviceSpec, RTX_3090
+from repro.ir.codegen.mixed_backend import ASSIGN_CODEGEN, ASSIGN_INTERP
+from repro.ir.intra_op.plan import KernelPlan
+
+#: Modelled host-side microseconds per kernel / per segment (relative weights
+#: matter, absolute scale does not — only the argmin is used).
+DISPATCH_US = 2.0
+INLINE_US = 0.2
+NONLATENCY_CODEGEN_US = 2.5
+SEGMENT_CALL_US = 1.0
+
+
+def _latency_bound(kernel, workload, device: DeviceSpec) -> Optional[bool]:
+    """Cost-model bound classification for traversal kernels; ``None`` otherwise."""
+    if getattr(kernel, "category", "") != "traversal":
+        return None
+    work = kernel_work_from_instance(kernel, workload, device=device)
+    return estimate_kernel_time(work, device).bound == "latency"
+
+
+def _step_cost(token: str, prev_token: Optional[str], latency: Optional[bool]) -> float:
+    if token == ASSIGN_INTERP:
+        return DISPATCH_US
+    cost = INLINE_US
+    if latency is False:
+        cost += NONLATENCY_CODEGEN_US
+    if prev_token != ASSIGN_CODEGEN:
+        cost += SEGMENT_CALL_US
+    return cost
+
+
+def beam_search_assignment(
+    plan: KernelPlan,
+    workload,
+    device: DeviceSpec = RTX_3090,
+    beam_width: int = 4,
+) -> Tuple[Tuple[str, str], ...]:
+    """The host-overhead-minimal per-kernel assignment for ``plan``.
+
+    Returns explicit ``(kernel_name, token)`` pairs covering every kernel
+    (forward and backward), suitable for
+    ``CompilerOptions(mixed_assignment=...)``.  Deterministic: ties break
+    toward ``"codegen"`` (lexicographically smaller), and the cost structure
+    is Markovian in the previous token, so ``beam_width >= 2`` is exact.
+    """
+    kernels = list(plan.forward_kernels) + list(plan.backward_kernels)
+    if not kernels:
+        return ()
+    latency = {k.name: _latency_bound(k, workload, device) for k in kernels}
+    # states: (tokens-so-far, accumulated cost)
+    states: List[Tuple[Tuple[str, ...], float]] = [((), 0.0)]
+    for kernel in kernels:
+        expanded: List[Tuple[Tuple[str, ...], float]] = []
+        for tokens, cost in states:
+            prev = tokens[-1] if tokens else None
+            for token in (ASSIGN_CODEGEN, ASSIGN_INTERP):
+                expanded.append(
+                    (tokens + (token,), cost + _step_cost(token, prev, latency[kernel.name]))
+                )
+        expanded.sort(key=lambda state: (state[1], state[0]))
+        states = expanded[:beam_width]
+    best_tokens = min(states, key=lambda state: (state[1], state[0]))[0]
+    return tuple((kernel.name, token) for kernel, token in zip(kernels, best_tokens))

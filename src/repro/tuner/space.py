@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.frontend.config import CompilerOptions
+from repro.ir.codegen.registry import available_backends, get_backend
 from repro.ir.intra_op.schedule import (
     ALLOWED_COARSENING,
     GEMM_TILE_CANDIDATES,
@@ -43,7 +44,12 @@ class TuningSpace:
         backends: execution-backend axis
             (:mod:`repro.ir.codegen.registry` names).  Backends never change
             numerics or the cost model's estimate, so ties resolve toward the
-            base options' backend, which is always emitted first.
+            base options' backend, which is always emitted first.  Every name
+            is validated against the registry at construction time — a typo
+            fails here with the available names, not deep inside a search.
+            Mixed-backend candidates additionally carry a per-kernel
+            assignment derived by the beam search in
+            :mod:`repro.tuner.assignment` during evaluation.
     """
 
     compact_materialization: Tuple[bool, ...] = (False, True)
@@ -53,7 +59,22 @@ class TuningSpace:
     gemm_coarsening: Tuple[int, ...] = ALLOWED_COARSENING
     traversal_rows_per_block: Tuple[int, ...] = TRAVERSAL_ROWS_CANDIDATES
     traversal_partial_aggregation: Tuple[bool, ...] = (True, False)
-    backends: Tuple[str, ...] = ("python-interp", "python-codegen")
+    backends: Tuple[str, ...] = ("python-interp", "python-codegen", "mixed")
+
+    def __post_init__(self):
+        registered = available_backends()
+        unknown = [name for name in self.backends if name not in registered]
+        if unknown:
+            raise ValueError(
+                f"unknown backend(s) {unknown} in TuningSpace.backends; "
+                f"available: {', '.join(registered)}"
+            )
+        non_executing = [name for name in self.backends if not get_backend(name).executes]
+        if non_executing:
+            raise ValueError(
+                f"backend(s) {non_executing} in TuningSpace.backends only emit "
+                "source and cannot execute plans; list executing backends only"
+            )
 
     # ------------------------------------------------------------------
     @classmethod
@@ -94,6 +115,11 @@ class TuningSpace:
                                 linear_operator_reordering=reorder,
                                 fuse_elementwise=fuse,
                                 backend=backend,
+                                # a per-kernel assignment is only meaningful
+                                # on the backend it was derived for
+                                mixed_assignment=(
+                                    base.mixed_assignment if backend == "mixed" else None
+                                ),
                                 optimization_level=None,
                             )
                         )

@@ -71,6 +71,42 @@ def test_default_rgat_codegen_python_snapshot(rgat_program, update_golden):
     _check_golden("rgat_default_codegen.py", text, update_golden)
 
 
+def test_occupancy_specialised_mixed_snapshot(rgat_program, update_golden):
+    """Golden mixed-backend source specialised to a sparse occupancy.
+
+    A deterministic six-relation schema with two empty relations, compiled
+    with ``backend="mixed"`` and respecialised at bind time: the snapshot
+    locks the per-kernel interp/codegen split, the segment dispatchers, and
+    the occupancy-masked unrolls (empty relations emit no block at all).
+    """
+    import numpy as np
+
+    from repro.graph.hetero_graph import HeteroGraph
+
+    rng = np.random.default_rng(5)
+    edges = {}
+    for r in range(6):
+        key = (f"nt{r % 2}", f"rel{r}", f"nt{(r + 1) % 2}")
+        if r in (1, 4):
+            edges[key] = (np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
+        else:
+            edges[key] = (rng.integers(0, 20, 30), rng.integers(0, 20, 30))
+    graph = HeteroGraph({"nt0": 20, "nt1": 20}, edges)
+
+    result = compile_program(
+        rgat_program,
+        CompilerOptions(backend="mixed", emit_backward=True),
+        graph=graph,
+    )
+    from repro.runtime.context import GraphContext
+
+    ctx = GraphContext.from_graph(graph)
+    variant = result.generated.specialise_for_occupancy(ctx)
+    assert variant is not result.generated, "sparse occupancy must specialise"
+    text = f"# backend: {result.plan.metadata['backend']} (occupancy-specialised)\n" + variant.source
+    _check_golden("rgat_mixed_occupancy_codegen.py", text, update_golden)
+
+
 def test_tuned_snapshot_differs_from_default(rgat_program):
     """The tuner must pick a non-default point for bgs (passes and schedules)."""
     workload = WorkloadSpec.from_dataset(TUNED_DATASET)

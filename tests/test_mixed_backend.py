@@ -1,0 +1,359 @@
+"""Unit tests for the mixed backend, the artifact cache, and their wiring.
+
+Tier-1 (unmarked): the differential sweep in ``test_property_compiled.py``
+locks bit-identity across the full configuration matrix; these tests cover
+the machinery itself — assignment resolution, occupancy memoisation,
+artifact-cache corruption handling, option validation, and the beam search —
+on small deterministic inputs.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.frontend.compiler import compile_model, compile_program
+from repro.frontend.config import CompilerOptions
+from repro.graph.generators import random_hetero_graph
+from repro.graph.hetero_graph import HeteroGraph
+from repro.ir.codegen.artifact_cache import (
+    ARTIFACT_FORMAT_VERSION,
+    CACHE_ENV,
+    ArtifactCache,
+    artifact_key_for,
+    default_artifact_cache,
+)
+from repro.ir.codegen.mixed_backend import (
+    ASSIGN_CODEGEN,
+    ASSIGN_INTERP,
+    MixedGeneratedModule,
+    resolve_assignment,
+)
+from repro.ir.codegen.registry import available_backends
+from repro.models import build_program
+from repro.tuner import TuningSpace, beam_search_assignment
+
+
+@pytest.fixture
+def isolated_cache(tmp_path, monkeypatch):
+    """Repoint the artifact cache at a private directory for this test."""
+    monkeypatch.setenv(CACHE_ENV, str(tmp_path / "codegen"))
+    return default_artifact_cache()
+
+
+def _graph(seed=13):
+    return random_hetero_graph(24, 90, 2, 4, seed=seed)
+
+
+def _sparse_graph():
+    """Deterministic graph with empty relations (occupancy specialisation)."""
+    rng = np.random.default_rng(5)
+    edges = {}
+    for r in range(6):
+        key = (f"nt{r % 2}", f"rel{r}", f"nt{(r + 1) % 2}")
+        if r in (1, 4):
+            edges[key] = (np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
+        else:
+            edges[key] = (rng.integers(0, 20, 30), rng.integers(0, 20, 30))
+    return HeteroGraph({"nt0": 20, "nt1": 20}, edges)
+
+
+def _mixed_options(**overrides):
+    return CompilerOptions(backend="mixed", emit_backward=True, **overrides)
+
+
+# ----------------------------------------------------------------------
+# Artifact cache
+# ----------------------------------------------------------------------
+class TestArtifactCache:
+    def test_round_trip_hit_skips_generation(self, isolated_cache):
+        cache = isolated_cache
+        calls = []
+
+        def generate():
+            calls.append(1)
+            return "x = 41 + 1\n"
+
+        source1, code1 = cache.load_or_generate("k1", "<t>", generate)
+        source2, code2 = cache.load_or_generate("k1", "<t>", generate)
+        assert calls == [1]
+        assert source1 == source2
+        namespace = {}
+        exec(code2, namespace)
+        assert namespace["x"] == 42
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1 and stats["stores"] == 1
+
+    def test_corrupt_record_is_a_miss_not_a_crash(self, isolated_cache):
+        cache = isolated_cache
+        cache.load_or_generate("k1", "<t>", lambda: "x = 1\n")
+        path = cache.directory / "k1.json"
+        path.write_text("{definitely not json")
+        source, code = cache.load_or_generate("k1", "<t>", lambda: "x = 2\n")
+        assert source == "x = 2\n"
+        assert cache.stats()["misses"] >= 2
+
+    def test_stale_source_hash_regenerates(self, isolated_cache):
+        cache = isolated_cache
+        cache.load_or_generate("k1", "<t>", lambda: "x = 1\n")
+        path = cache.directory / "k1.json"
+        record = json.loads(path.read_text())
+        record["source"] = "x = 999\n"  # tampered without updating source_sha
+        path.write_text(json.dumps(record))
+        source, _ = cache.load_or_generate("k1", "<t>", lambda: "x = 3\n")
+        assert source == "x = 3\n"
+
+    def test_format_version_mismatch_regenerates(self, isolated_cache):
+        cache = isolated_cache
+        cache.load_or_generate("k1", "<t>", lambda: "x = 1\n")
+        path = cache.directory / "k1.json"
+        record = json.loads(path.read_text())
+        record["version"] = ARTIFACT_FORMAT_VERSION + 1
+        path.write_text(json.dumps(record))
+        assert cache.load("k1") is None
+
+    def test_none_key_disables_persistence(self, isolated_cache):
+        cache = isolated_cache
+        cache.load_or_generate(None, "<t>", lambda: "x = 1\n")
+        assert not list(cache.directory.glob("*.json")) if cache.directory.exists() else True
+        assert cache.stats()["stores"] == 0
+
+    def test_env_override_is_re_resolved(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV, str(tmp_path / "a"))
+        cache_a = default_artifact_cache()
+        assert cache_a.directory == tmp_path / "a"
+        monkeypatch.setenv(CACHE_ENV, str(tmp_path / "b"))
+        cache_b = default_artifact_cache()
+        assert cache_b.directory == tmp_path / "b"
+        assert cache_b is not cache_a
+        assert cache_b.stats() == {"hits": 0, "misses": 0, "stores": 0, "errors": 0}
+
+    def test_artifact_key_discriminates_extras(self):
+        base = ("some", "cache", "key")
+        k1 = artifact_key_for(base)
+        k2 = artifact_key_for(base, ("occupancy", ((True, False), (True,))))
+        k3 = artifact_key_for(base)
+        assert k1 == k3
+        assert k1 != k2
+
+    def test_store_tolerates_unwritable_directory(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "file-not-dir")
+        (tmp_path / "file-not-dir").write_text("occupied")
+        cache.store("k", "x = 1\n", compile("x = 1\n", "<t>", "exec"))
+        assert cache.stats()["errors"] == 1
+
+
+# ----------------------------------------------------------------------
+# Registry / option / space validation
+# ----------------------------------------------------------------------
+class TestValidation:
+    def test_available_backends_sorted_and_contains_mixed(self):
+        names = available_backends()
+        assert isinstance(names, tuple)
+        assert list(names) == sorted(names)
+        assert "mixed" in names
+
+    def test_tuning_space_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="no-such-backend"):
+            TuningSpace(backends=("python-interp", "no-such-backend"))
+
+    def test_tuning_space_error_names_available_backends(self):
+        with pytest.raises(ValueError, match="mixed"):
+            TuningSpace(backends=("typo",))
+
+    def test_tuning_space_rejects_non_executing_backend(self):
+        with pytest.raises(ValueError, match="cuda-emit"):
+            TuningSpace(backends=("cuda-emit",))
+
+    def test_mixed_assignment_requires_mixed_backend(self):
+        with pytest.raises(ValueError, match="backend='mixed'"):
+            CompilerOptions(backend="python-interp", mixed_assignment=(("k", "interp"),))
+
+    def test_mixed_assignment_rejects_bad_tokens(self):
+        with pytest.raises(ValueError, match="turbo"):
+            CompilerOptions(backend="mixed", mixed_assignment=(("k", "turbo"),))
+
+    def test_mixed_assignment_json_round_trip(self):
+        options = CompilerOptions(
+            backend="mixed", mixed_assignment=(("gemm_1", "codegen"), ("t_1", "interp"))
+        )
+        restored = CompilerOptions.from_dict(json.loads(json.dumps(options.to_dict())))
+        assert restored.mixed_assignment == options.mixed_assignment
+        assert restored.cache_key() == options.cache_key()
+
+    def test_mixed_assignment_changes_cache_key(self):
+        base = CompilerOptions(backend="mixed")
+        assigned = CompilerOptions(backend="mixed", mixed_assignment=(("k", "interp"),))
+        assert base.cache_key() != assigned.cache_key()
+
+    def test_resolve_assignment_rejects_unknown_kernels(self):
+        program = build_program("rgcn", in_dim=4, out_dim=4)
+        result = compile_program(program, _mixed_options(), graph=_graph())
+        with pytest.raises(ValueError, match="no_such_kernel"):
+            resolve_assignment(result.plan, explicit=(("no_such_kernel", "interp"),))
+
+
+# ----------------------------------------------------------------------
+# Mixed generation
+# ----------------------------------------------------------------------
+class TestMixedGeneration:
+    def test_explicit_assignment_shapes_the_source(self, isolated_cache):
+        program = build_program("rgcn", in_dim=4, out_dim=4)
+        graph = _graph()
+        result = compile_program(
+            program, _mixed_options(enable_compilation_cache=False), graph=graph
+        )
+        forward_names = [k.name for k in result.plan.forward_kernels]
+        backward_names = [k.name for k in result.plan.backward_kernels]
+        assignment = tuple((n, "interp") for n in forward_names) + tuple(
+            (n, "codegen") for n in backward_names
+        )
+        forced = compile_program(
+            program,
+            _mixed_options(enable_compilation_cache=False, mixed_assignment=assignment),
+            graph=graph,
+        )
+        source = forced.generated.source
+        for name in forward_names:
+            assert f"def kernel_{name}(" in source
+        assert "_seg_backward_0" in source
+        assert "_seg_forward_" not in source
+
+    def test_no_workload_default_keeps_traversal_on_interp(self, isolated_cache):
+        program = build_program("rgat", in_dim=4, out_dim=4)
+        # No graph → no workload → structural default assignment.
+        result = compile_program(program, _mixed_options(enable_compilation_cache=False))
+        module = result.generated
+        assert isinstance(module, MixedGeneratedModule)
+        for kernel in module.plan.forward_kernels:
+            expected = ASSIGN_INTERP if kernel.category == "traversal" else ASSIGN_CODEGEN
+            assert module.assignment[kernel.name] == expected
+
+    def test_summary_surfaces_mixed_telemetry(self, isolated_cache):
+        graph = _graph()
+        module = compile_model("rgcn", graph, in_dim=4, out_dim=4, options=_mixed_options())
+        info = module.summary()
+        assert set(info["artifact_cache"]) == {"hits", "misses", "stores", "errors"}
+        counts = info["mixed_assignment"]
+        assert counts[ASSIGN_CODEGEN] + counts[ASSIGN_INTERP] == len(
+            list(module.plan.forward_kernels) + list(module.plan.backward_kernels)
+        )
+        assert set(info["occupancy"]) == {"hits", "misses", "variants"}
+
+
+# ----------------------------------------------------------------------
+# Occupancy specialisation
+# ----------------------------------------------------------------------
+class TestOccupancySpecialisation:
+    def test_rebind_hits_the_occupancy_memo(self, isolated_cache):
+        graph = _sparse_graph()
+        module = compile_model("rgat", graph, in_dim=4, out_dim=4, options=_mixed_options())
+        generated = module.generated
+        first = generated.specialise_for_occupancy(module.default_binding.ctx)
+        stats_before = generated.occupancy_stats()
+        second = generated.specialise_for_occupancy(module.default_binding.ctx)
+        stats_after = generated.occupancy_stats()
+        assert second is first
+        assert stats_after["hits"] == stats_before["hits"] + 1
+        assert stats_after["variants"] == stats_before["variants"]
+
+    def test_variant_skips_empty_relations(self, isolated_cache):
+        graph = _sparse_graph()
+        module = compile_model("rgat", graph, in_dim=4, out_dim=4, options=_mixed_options())
+        binding = module.bind(graph)
+        variant = module.generated_for(binding.ctx)
+        assert variant is not module.generated
+        # The specialised source unrolls strictly fewer per-relation blocks
+        # than the unspecialised module (2 of the 6 relations are empty).
+        assert variant.source.count("if end > start:") < module.generated.source.count(
+            "if end > start:"
+        )
+
+    def test_fully_occupied_small_schema_returns_self(self, isolated_cache):
+        graph = _graph()
+        module = compile_model("rgat", graph, in_dim=4, out_dim=4, options=_mixed_options())
+        binding = module.bind(graph)
+        assert module.generated_for(binding.ctx) is module.generated
+
+    def test_specialised_results_bit_identical(self, isolated_cache):
+        graph = _sparse_graph()
+        rng = np.random.default_rng(7)
+        features = rng.standard_normal((graph.num_nodes, 4))
+        results = {}
+        for backend in ("python-interp", "mixed"):
+            module = compile_model(
+                "rgat", graph, in_dim=4, out_dim=4,
+                options=CompilerOptions(backend=backend, emit_backward=True), seed=3,
+            )
+            binding = module.bind(graph)
+            out = binding.forward(features)
+            binding.backward({k: np.ones_like(v) for k, v in out.items()})
+            results[backend] = (
+                {k: v.tobytes() for k, v in out.items()},
+                {k: v.tobytes() for k, v in binding.input_gradients().items()},
+                {n: p.grad.tobytes() for n, p in module.parameters_by_name.items()},
+            )
+        assert results["python-interp"] == results["mixed"]
+
+
+# ----------------------------------------------------------------------
+# Runtime-segment-loop backward (regression for the fresh-scatter fix)
+# ----------------------------------------------------------------------
+class TestRuntimeLoopBackward:
+    def test_input_gradients_bit_identical_beyond_unroll_limit(self, isolated_cache):
+        """>32 edge types force the runtime segment loop; scatters inside it
+        must accumulate (np.add.at), not overwrite (_scatter_fresh)."""
+        graph = random_hetero_graph(40, 300, 2, 40, seed=3)
+        rng = np.random.default_rng(1)
+        features = rng.standard_normal((graph.num_nodes, 4))
+        grads = {}
+        for backend in ("python-interp", "python-codegen", "mixed"):
+            module = compile_model(
+                "rgat", graph, in_dim=4, out_dim=4,
+                options=CompilerOptions(backend=backend, emit_backward=True), seed=3,
+            )
+            binding = module.bind(graph)
+            out = binding.forward(features)
+            binding.backward({k: np.ones_like(v) for k, v in out.items()})
+            grads[backend] = {k: v.tobytes() for k, v in binding.input_gradients().items()}
+        assert grads["python-codegen"] == grads["python-interp"]
+        assert grads["mixed"] == grads["python-interp"]
+
+
+# ----------------------------------------------------------------------
+# Beam search
+# ----------------------------------------------------------------------
+class TestBeamSearch:
+    def _plan_and_workload(self):
+        from repro.evaluation.workload import WorkloadSpec
+
+        program = build_program("rgat", in_dim=4, out_dim=4)
+        graph = _graph()
+        result = compile_program(program, _mixed_options(), graph=graph)
+        return result.plan, WorkloadSpec.from_graph(graph, in_dim=4, out_dim=4)
+
+    def test_deterministic_and_covers_every_kernel(self):
+        plan, workload = self._plan_and_workload()
+        first = beam_search_assignment(plan, workload)
+        second = beam_search_assignment(plan, workload)
+        assert first == second
+        names = {k.name for k in list(plan.forward_kernels) + list(plan.backward_kernels)}
+        assert {name for name, _ in first} == names
+        assert all(token in (ASSIGN_INTERP, ASSIGN_CODEGEN) for _, token in first)
+
+    def test_gemm_kernels_always_assigned_codegen(self):
+        plan, workload = self._plan_and_workload()
+        assignment = dict(beam_search_assignment(plan, workload))
+        for kernel in list(plan.forward_kernels) + list(plan.backward_kernels):
+            if kernel.category == "gemm":
+                assert assignment[kernel.name] == ASSIGN_CODEGEN
+
+    def test_assignment_is_valid_compiler_options_input(self, isolated_cache):
+        plan, workload = self._plan_and_workload()
+        assignment = beam_search_assignment(plan, workload)
+        options = _mixed_options(mixed_assignment=assignment)
+        graph = _graph()
+        module = compile_model("rgat", graph, in_dim=4, out_dim=4, options=options)
+        rng = np.random.default_rng(2)
+        out = module.forward(rng.standard_normal((graph.num_nodes, 4)))
+        assert all(np.isfinite(v).all() for v in out.values())

@@ -175,17 +175,19 @@ class TestDifferentialDesignSpaceSweep:
 
 
 # ----------------------------------------------------------------------
-# Backend differential: python-codegen ≡ python-interp, bit for bit
+# Backend differential: python-codegen / mixed ≡ python-interp, bit for bit
 # ----------------------------------------------------------------------
 @pytest.mark.differential
 class TestBackendDifferentialSweep:
-    """The whole-plan codegen backend against the per-kernel interp backend.
+    """The whole-plan codegen and mixed backends against the interp backend.
 
-    Stronger than the reference sweep above: the two backends run the *same*
+    Stronger than the reference sweep above: all three backends run the *same*
     numpy operations in the same order on the same values, so outputs,
     parameter gradients, and input gradients must match bit for bit
     (``tobytes`` equality, not allclose) on every tuner-reachable
-    configuration of every model.
+    configuration of every model.  The mixed backend additionally derives its
+    per-kernel assignment from the graph's workload here, so the cost-model
+    routing path is what the sweep exercises.
     """
 
     @pytest.mark.parametrize("options", list(_tuner_reachable_configurations()))
@@ -198,7 +200,7 @@ class TestBackendDifferentialSweep:
         upstream = None
 
         outs, grads, input_grads = {}, {}, {}
-        for backend in ("python-interp", "python-codegen"):
+        for backend in ("python-interp", "python-codegen", "mixed"):
             module = compile_model(
                 model, graph, in_dim=dim, out_dim=dim,
                 options=options.with_(backend=backend), seed=seed % 50,
@@ -219,20 +221,21 @@ class TestBackendDifferentialSweep:
                 if grad is not None
             }
 
-        for name in outs["python-interp"]:
-            assert (
-                outs["python-interp"][name].tobytes()
-                == outs["python-codegen"][name].tobytes()
-            ), f"forward output {name} diverged"
-        assert set(grads["python-interp"]) == set(grads["python-codegen"])
-        for name in grads["python-interp"]:
-            assert (
-                grads["python-interp"][name].tobytes()
-                == grads["python-codegen"][name].tobytes()
-            ), f"parameter gradient {name} diverged"
-        assert set(input_grads["python-interp"]) == set(input_grads["python-codegen"])
-        for name in input_grads["python-interp"]:
-            assert (
-                input_grads["python-interp"][name].tobytes()
-                == input_grads["python-codegen"][name].tobytes()
-            ), f"input gradient {name} diverged"
+        for backend in ("python-codegen", "mixed"):
+            for name in outs["python-interp"]:
+                assert (
+                    outs["python-interp"][name].tobytes()
+                    == outs[backend][name].tobytes()
+                ), f"forward output {name} diverged on {backend}"
+            assert set(grads["python-interp"]) == set(grads[backend])
+            for name in grads["python-interp"]:
+                assert (
+                    grads["python-interp"][name].tobytes()
+                    == grads[backend][name].tobytes()
+                ), f"parameter gradient {name} diverged on {backend}"
+            assert set(input_grads["python-interp"]) == set(input_grads[backend])
+            for name in input_grads["python-interp"]:
+                assert (
+                    input_grads["python-interp"][name].tobytes()
+                    == input_grads[backend][name].tobytes()
+                ), f"input gradient {name} diverged on {backend}"
