@@ -180,3 +180,91 @@ def test_three_tenant_consolidation_beats_worst_isolated_engine():
         f"consolidation regressed: {study['speedup_vs_worst_isolated']}x < 1.5x "
         f"over the worst isolated engine ({study['worst_isolated']})"
     )
+
+
+@pytest.mark.smoke
+def test_four_workers_double_throughput_with_bit_identical_results():
+    """Acceptance gate: 4 executor workers sustain ≥ 2× the throughput of one
+    worker on a mixed 4-endpoint stream, with per-request results
+    bit-identical to single-threaded serving.
+
+    Throughput is the virtual-time makespan of the parallel schedule with
+    CPU-exclusive per-batch service times (``time.thread_time``) — the same
+    modelled-aggregate convention as the scaling study, so the gate holds on
+    single-CPU CI hosts where wall-clock thread overlap is impossible.
+    """
+    import time
+
+    from repro.evaluation.saturation_study import (
+        build_router,
+        compile_tenants,
+        mixed_stream,
+        tenant_graphs,
+    )
+
+    graphs = tenant_graphs()
+    modules = compile_tenants(graphs)
+    stream = mixed_stream(graphs, 96, seed=17)  # burst: every lane contended
+    served = {}
+    metrics = {}
+    for workers in (1, 4):
+        router = build_router(modules, graphs, num_workers=workers)
+        router.serve(stream, timer=time.thread_time)
+        served[workers] = router.last_served
+        metrics[workers] = router.last_serve_metrics
+
+    assert len(served[1]) == len(served[4]) == len(stream)
+    for single, pooled in zip(served[1], served[4]):
+        assert single.result is not None and pooled.result is not None
+        np.testing.assert_array_equal(single.result, pooled.result)
+
+    speedup = metrics[1]["makespan_s"] / max(metrics[4]["makespan_s"], 1e-12)
+    print()
+    print(format_table(
+        [{"workers": w, **metrics[w]} for w in (1, 4)],
+        title=f"Executor pool scaling — modelled speedup {speedup:.2f}x",
+    ))
+    assert speedup >= 2.0, (
+        f"4 workers sustain only {speedup:.2f}x the single-worker throughput "
+        "on a 4-endpoint mixed stream (expected >= 2x)"
+    )
+
+
+@pytest.mark.smoke
+def test_overload_sheds_instead_of_queueing_and_stays_fair():
+    """Acceptance gate: past the capacity knee, p99 latency of *admitted*
+    requests stays bounded (the shed rate rises instead), queues never exceed
+    their bound, and WRR fairness ratios hold within 20%."""
+    from repro.evaluation.saturation_study import saturation_rows, saturation_study
+
+    study = saturation_study()
+    rows = saturation_rows(study)
+    print()
+    print(format_table(
+        rows,
+        title=f"Saturation sweep — capacity {study['capacity_rps']} rps, "
+              f"deadline {study['deadline_ms']} ms, queue depth {study['max_queue_depth']}",
+    ))
+    below_knee = rows[0]
+    past_knee = [row for row in rows if row["multiplier"] >= 2.0]
+    assert below_knee["shed_fraction"] <= 0.05, (
+        f"router sheds {below_knee['shed_fraction']} of requests at half capacity"
+    )
+    assert past_knee, "the sweep never crossed the capacity knee"
+    # One batch may still be in service when the deadline expires, so the
+    # bound on an admitted request is deadline + a generous service allowance.
+    latency_bound_ms = study["deadline_ms"] + 10 * study["mean_service_ms"]
+    for row in past_knee:
+        assert row["shed_fraction"] > below_knee["shed_fraction"], (
+            f"at {row['multiplier']}x capacity the shed rate did not rise: {row}"
+        )
+        assert row["p99_ms"] <= latency_bound_ms, (
+            f"p99 of admitted requests unbounded past the knee: "
+            f"{row['p99_ms']} ms > {latency_bound_ms:.1f} ms at {row['multiplier']}x"
+        )
+        assert row["queue_high_water"] <= study["max_queue_depth"], (
+            f"queue depth exceeded its bound: {row}"
+        )
+        assert row["fairness_worst"] <= 0.2, (
+            f"WRR fairness drifted past 20% under overload: {row}"
+        )

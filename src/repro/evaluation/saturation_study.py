@@ -1,0 +1,308 @@
+"""Saturation study: router behaviour as offered load crosses the capacity knee.
+
+The router's overload story (ISSUE 10) is a claim about *shape*, not a single
+number: below the capacity knee everything completes and latency is flat;
+past the knee an admission-controlled router converts overload into a rising
+**shed rate** while the latency of admitted requests stays bounded (wait is
+capped by the deadline, so p99 ≈ deadline + one batch's service) and
+weighted-round-robin keeps completed work split by endpoint weight.  Without
+admission control the same sweep shows queues — and p99 — growing without
+bound.
+
+The sweep: calibrate the router's capacity (requests/s at saturation, one
+worker, burst arrivals), then replay the same round-robin mixed stream at
+``multiplier × capacity`` offered load for each multiplier, under a
+queue-bound + deadline admission policy derived from the calibration.
+Everything runs on the virtual clock with CPU-exclusive service times
+(``time.thread_time``), so the knee is a property of the workload, not of
+wall-clock noise on a busy CI host.
+
+CI runs ``python -m repro.evaluation.saturation_study --markdown`` into
+``$GITHUB_STEP_SUMMARY``; ``benchmarks/test_serving.py`` reuses the builders
+here to gate the bounded-p99 / rising-shed / fairness behaviour.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.evaluation.reporting import format_markdown_table, format_table
+from repro.frontend.compiler import compile_model
+from repro.frontend.config import CompilerOptions
+from repro.graph.generators import random_hetero_graph
+from repro.graph.hetero_graph import HeteroGraph
+from repro.runtime.module import CompiledRGNNModule
+from repro.serving import AdmissionPolicy, Router
+from repro.serving.stats import percentile
+
+#: The study's tenants: ``(endpoint name, model, WRR weight)``.  Four lanes
+#: so a 4-worker pool has enough lane parallelism to matter; one weight-2
+#: tenant so fairness is measurable, not just round-robin.
+TENANTS: Tuple[Tuple[str, str, int], ...] = (
+    ("rgcn-a", "rgcn", 1),
+    ("rgat-b", "rgat", 1),
+    ("hgt-c", "hgt", 2),
+    ("rgcn-d", "rgcn", 1),
+)
+
+IN_DIM = 32
+OUT_DIM = 16
+
+
+def tenant_graphs(seed: int = 23) -> Dict[str, HeteroGraph]:
+    """One modest parent graph per tenant (deliberately similar sizes, so
+    executor slots cost roughly the same across lanes)."""
+    return {
+        name: random_hetero_graph(
+            num_nodes=220, num_edges=1100, num_node_types=2, num_edge_types=4,
+            seed=seed + index, name=f"saturation-{name}",
+        )
+        for index, (name, _, _) in enumerate(TENANTS)
+    }
+
+
+def compile_tenants(graphs: Dict[str, HeteroGraph], seed: int = 7) -> Dict[str, CompiledRGNNModule]:
+    """Compile each tenant's module once; routers adopt them (so a sweep over
+    load multipliers pays compilation once, not once per router)."""
+    options = CompilerOptions(emit_backward=False)
+    return {
+        name: compile_model(
+            model, graphs[name], in_dim=IN_DIM, out_dim=OUT_DIM,
+            options=options, seed=seed + index,
+        )
+        for index, (name, model, _) in enumerate(TENANTS)
+    }
+
+
+def build_router(
+    modules: Dict[str, CompiledRGNNModule],
+    graphs: Dict[str, HeteroGraph],
+    *,
+    num_workers: int = 1,
+    admission: Optional[AdmissionPolicy] = None,
+    max_batch_size: int = 8,
+    batch_timeout_s: float = 0.002,
+    block_cache_size: int = 32,
+    seed: int = 5,
+) -> Router:
+    """A fresh 4-endpoint router over the study's tenants (cold caches and
+    admission state, shared pre-compiled modules)."""
+    router = Router(arena_capacity_bytes=64 << 20, num_workers=num_workers)
+    for index, (name, _, priority) in enumerate(TENANTS):
+        router.register(
+            name, modules[name], graphs[name],
+            in_dim=IN_DIM, out_dim=OUT_DIM,
+            priority=priority,
+            max_batch_size=max_batch_size,
+            batch_timeout_s=batch_timeout_s,
+            block_cache_size=block_cache_size,
+            sampler_seed=seed + index,
+            seed=seed + index,
+            admission=admission,
+        )
+    return router
+
+
+def mixed_stream(
+    graphs: Dict[str, HeteroGraph],
+    num_requests: int,
+    *,
+    seeds_per_request: int = 3,
+    rate_rps: Optional[float] = None,
+    seed: int = 0,
+) -> List[Tuple[str, np.ndarray, float]]:
+    """A round-robin mixed stream: request ``i`` targets tenant ``i mod 4``.
+
+    ``rate_rps=None`` is a closed-loop burst (every arrival at t=0, the
+    calibration and worker-scaling workload); otherwise arrivals are evenly
+    spaced at the offered rate, so each tenant is offered exactly a quarter
+    of the load.
+    """
+    rng = np.random.default_rng(seed)
+    names = [name for name, _, _ in TENANTS]
+    stream: List[Tuple[str, np.ndarray, float]] = []
+    for index in range(num_requests):
+        name = names[index % len(names)]
+        seeds = rng.integers(0, graphs[name].num_nodes, size=seeds_per_request)
+        arrival = 0.0 if rate_rps is None else index / rate_rps
+        stream.append((name, seeds, arrival))
+    return stream
+
+
+def calibrate_capacity(
+    modules: Dict[str, CompiledRGNNModule],
+    graphs: Dict[str, HeteroGraph],
+    *,
+    num_requests: int = 96,
+    seed: int = 11,
+) -> Dict[str, float]:
+    """Measure the single-worker saturation point: serve a burst (every
+    request ready at t=0, no admission) and read the completion rate.
+
+    Returns ``capacity_rps`` (requests per virtual second at saturation) and
+    ``mean_service_s`` (mean batch service seconds) — the two numbers the
+    admission policy and the sweep's offered rates are derived from.
+    """
+    # One throwaway warmup pass so cold-start costs (first binds, allocator
+    # growth) do not inflate the calibrated capacity's denominator.
+    warmup = build_router(modules, graphs, num_workers=1, seed=seed)
+    warmup.serve(mixed_stream(graphs, 32, seed=seed + 99), timer=time.thread_time)
+    router = build_router(modules, graphs, num_workers=1, seed=seed)
+    stream = mixed_stream(graphs, num_requests, seed=seed)
+    router.serve(stream, timer=time.thread_time)
+    metrics = router.last_serve_metrics
+    batches = sum(e.stats.num_batches for e in (router.endpoint(n) for n, _, _ in TENANTS))
+    makespan = max(metrics["makespan_s"], 1e-9)
+    return {
+        "capacity_rps": metrics["completed"] / makespan,
+        "mean_service_s": metrics["busy_s"] / max(batches, 1),
+    }
+
+
+def fairness_ratios(completed_by_endpoint: Dict[str, int]) -> Dict[str, float]:
+    """Completed-share over weight-share per tenant (1.0 = perfectly fair).
+
+    Only meaningful when the router is actually contended (under light load
+    everything completes and shares follow the offered mix, not the
+    weights).
+    """
+    total_completed = sum(completed_by_endpoint.values())
+    total_weight = sum(weight for _, _, weight in TENANTS)
+    if not total_completed:
+        return {name: 0.0 for name, _, _ in TENANTS}
+    return {
+        name: (completed_by_endpoint.get(name, 0) / total_completed) / (weight / total_weight)
+        for name, _, weight in TENANTS
+    }
+
+
+def saturation_study(
+    *,
+    multipliers: Sequence[float] = (0.25, 1.0, 2.0, 4.0),
+    window_deadlines: float = 4.0,
+    seeds_per_request: int = 3,
+    num_workers: int = 1,
+    max_batch_size: int = 8,
+    max_queue_depth: int = 12,
+    seed: int = 23,
+) -> Dict[str, object]:
+    """Sweep offered load across the capacity knee under admission control.
+
+    Per multiplier ``m``: a fresh router (same pre-compiled modules, cold
+    admission state) serves a round-robin stream at ``m × capacity`` offered
+    rps, under a per-tenant policy of ``max_queue_depth`` and a deadline
+    sized so a *full* queue on the slowest (weight-1) lane can still drain in
+    time — so below the knee, deadlines are comfortable, and past it, the
+    queue bound and deadline shed the excess instead of queueing it.
+
+    Each row's stream lasts ``window_deadlines`` deadlines of arrivals (the
+    request count scales with the offered rate), so overloaded rows reach
+    steady state instead of being one queue-sized burst, and the fairness
+    measurement has a real contended window to average over.
+    """
+    graphs = tenant_graphs(seed)
+    modules = compile_tenants(graphs, seed=seed)
+    calibration = calibrate_capacity(modules, graphs, seed=seed)
+    capacity = max(calibration["capacity_rps"], 1e-9)
+    mean_service = calibration["mean_service_s"]
+    # A weight-1 lane drains ~its weight share of capacity; give a full
+    # queue 1.5× the time that drain needs, plus a batch's service.
+    total_weight = sum(weight for _, _, weight in TENANTS)
+    min_share = min(weight for _, _, weight in TENANTS) / total_weight
+    deadline_s = 1.5 * max_queue_depth / (capacity * min_share) + 2.0 * mean_service
+    policy = AdmissionPolicy(max_queue_depth=max_queue_depth, deadline_s=deadline_s)
+    window_s = window_deadlines * deadline_s
+
+    rows: List[Dict[str, object]] = []
+    for multiplier in multipliers:
+        rate = multiplier * capacity
+        num_requests = max(int(rate * window_s), 16 * len(TENANTS))
+        router = build_router(
+            modules, graphs, num_workers=num_workers,
+            admission=policy, max_batch_size=max_batch_size,
+            batch_timeout_s=0.004, seed=seed,
+        )
+        stream = mixed_stream(
+            graphs, num_requests,
+            seeds_per_request=seeds_per_request, rate_rps=rate, seed=seed + 1,
+        )
+        router.serve(stream, timer=time.thread_time)
+        requests = router.last_served
+        completed = [r for r in requests if r.done]
+        shed = [r for r in requests if r.shed]
+        latencies = [r.latency_s for r in completed]
+        # Fairness is a steady-state property: once arrivals stop, the final
+        # queue drain completes every lane's backlog regardless of weight, so
+        # count only completions that finished while load was still arriving.
+        last_arrival = max(r.arrival_s for r in requests) if requests else 0.0
+        steady = [r for r in completed if r.arrival_s + r.latency_s <= last_arrival]
+        ratios = fairness_ratios(Counter(r.endpoint for r in (steady or completed)))
+        rows.append({
+            "multiplier": multiplier,
+            "offered_rps": round(rate, 1),
+            "requests": len(requests),
+            "completed": len(completed),
+            "shed": len(shed),
+            "shed_fraction": round(len(shed) / len(requests), 3) if requests else 0.0,
+            "p50_ms": round(percentile(latencies, 50) * 1e3, 3),
+            "p99_ms": round(percentile(latencies, 99) * 1e3, 3),
+            "fairness_worst": round(max(abs(r - 1.0) for r in ratios.values()), 3),
+            "queue_high_water": max(
+                router.endpoint(name).stats.queue_depth_high_water for name, _, _ in TENANTS
+            ),
+        })
+    return {
+        "capacity_rps": round(capacity, 1),
+        "mean_service_ms": round(mean_service * 1e3, 4),
+        "deadline_ms": round(deadline_s * 1e3, 3),
+        "max_queue_depth": max_queue_depth,
+        "num_workers": num_workers,
+        "rows": rows,
+    }
+
+
+def saturation_rows(study: Dict[str, object]) -> List[Dict[str, object]]:
+    """The study's table rows (for ``format_table`` / markdown rendering)."""
+    return list(study["rows"])
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    """CLI entry point; ``--markdown`` targets the CI job summary."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--window-deadlines", type=float, default=4.0,
+                        help="stream length per row, in units of the admission deadline")
+    parser.add_argument("--seeds-per-request", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--multipliers", type=float, nargs="+", default=[0.25, 1.0, 2.0, 4.0])
+    parser.add_argument("--markdown", action="store_true",
+                        help="emit a GitHub-flavoured markdown table (for $GITHUB_STEP_SUMMARY)")
+    args = parser.parse_args(argv)
+    study = saturation_study(
+        multipliers=tuple(args.multipliers),
+        window_deadlines=args.window_deadlines,
+        seeds_per_request=args.seeds_per_request,
+        num_workers=args.workers,
+    )
+    header = (
+        f"capacity {study['capacity_rps']} rps, mean batch service "
+        f"{study['mean_service_ms']} ms, deadline {study['deadline_ms']} ms, "
+        f"queue depth {study['max_queue_depth']}, workers {study['num_workers']}"
+    )
+    if args.markdown:
+        print("### Saturation sweep — offered load vs the capacity knee")
+        print()
+        print(format_markdown_table(saturation_rows(study)))
+        print()
+        print(f"**{header}.** Past the knee the shed fraction rises while the "
+              "p99 of admitted requests stays bounded by the deadline.")
+    else:
+        print(format_table(saturation_rows(study), title=f"Saturation sweep — {header}"))
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI
+    main()

@@ -312,13 +312,18 @@ class NeighborSampler:
             source_chunks.append(src_local[positions] + graph.node_type_offset(src_type))
         return source_chunks
 
-    def sample(self, seeds) -> MinibatchBlock:
-        """Sample the merged block of a set of seed nodes (parent global ids).
+    def merged_positions(self, seeds) -> Dict[CanonicalEtype, np.ndarray]:
+        """Per-relation kept edge positions of the merged k-hop block of
+        ``seeds`` — the draw without the compaction.
 
-        A destination revisited at a later hop reuses its first draw even
-        when the hops' fanouts differ (the per-call memo below), so merged
-        per-relation in-degrees never exceed the cap of the hop that first
-        reached the node — the block-level fanout invariant.
+        This is the cacheable half of :meth:`sample`: positions are parent
+        edge indices (relation-local), already deduplicated and sorted, so
+        positions drawn for different seed sets can be unioned cheaply with
+        ``np.unique(np.concatenate(...))`` and re-compacted via
+        :meth:`assemble`.  Under ``fanout=None`` the union of per-seed
+        positions equals a fresh merged draw of the seed union (full
+        neighborhoods compose), which is what makes per-seed block caching
+        exact.
         """
         graph = self.graph
         seeds = self._validate_seeds(seeds)
@@ -336,7 +341,120 @@ class NeighborSampler:
             )
             if not len(frontier):
                 break
-        return self._compact(seeds, kept_positions)
+        return {
+            etype: (np.unique(np.concatenate(chunks)) if chunks else np.zeros(0, dtype=np.int64))
+            for etype, chunks in kept_positions.items()
+        }
+
+    def hop_positions(self, seeds) -> List[Dict[CanonicalEtype, np.ndarray]]:
+        """Per-hop per-relation kept edge positions, outermost-last.
+
+        The cacheable half of :meth:`sample_blocks`: entry ``i`` holds hop
+        ``i+1``'s drawn edge positions (deduplicated, sorted).  Hop ``i+1``'s
+        destination frontier is hop ``i``'s node set, reproduced here without
+        compaction via :meth:`positions_nodes`.
+        """
+        seeds = self._validate_seeds(seeds)
+        hops: List[Dict[CanonicalEtype, np.ndarray]] = []
+        dst_frontier = np.unique(seeds)
+        for fanout in self.fanouts:
+            kept_positions: Dict[CanonicalEtype, List[np.ndarray]] = {
+                etype: [] for etype in self.graph.canonical_etypes
+            }
+            self._draw_frontier(dst_frontier, fanout, kept_positions)
+            positions = {
+                etype: (np.unique(np.concatenate(chunks)) if chunks else np.zeros(0, dtype=np.int64))
+                for etype, chunks in kept_positions.items()
+            }
+            hops.append(positions)
+            dst_frontier = self.positions_nodes(dst_frontier, positions)
+        return hops
+
+    def positions_nodes(self, seeds, positions) -> np.ndarray:
+        """The node set (sorted parent global ids) a positions draw touches.
+
+        ``positions`` is one per-relation dict (:meth:`merged_positions`) or
+        a list of them (:meth:`hop_positions`); the result is the union of
+        ``seeds`` and every kept edge's endpoints — exactly the node set of
+        the compacted block (block node order is type-major with sorted
+        parent-locals per type, and type offsets are cumulative, so the
+        block's ``node_map`` is this sorted set).
+        """
+        graph = self.graph
+        chunks = [np.unique(np.asarray(seeds, dtype=np.int64).reshape(-1))]
+        for per_relation in positions if isinstance(positions, list) else [positions]:
+            for etype, kept in per_relation.items():
+                if not len(kept):
+                    continue
+                src_type, _, dst_type = etype
+                src_local, dst_local = graph.edges_per_relation[etype]
+                chunks.append(src_local[kept] + graph.node_type_offset(src_type))
+                chunks.append(dst_local[kept] + graph.node_type_offset(dst_type))
+        return np.unique(np.concatenate(chunks))
+
+    def assemble(
+        self,
+        seeds,
+        positions: Dict[CanonicalEtype, np.ndarray],
+        required_nodes: Optional[np.ndarray] = None,
+    ) -> MinibatchBlock:
+        """Compact a block from per-relation edge positions.
+
+        The deterministic half of sampling: given positions (from
+        :meth:`merged_positions`, or a union of cached per-seed draws), the
+        resulting block is a pure function of ``(seeds, positions)`` — no RNG,
+        no draw memo.  ``required_nodes`` keeps a destination frontier in the
+        block even where no edge touches it (the per-hop case).
+        """
+        seeds = self._validate_seeds(seeds)
+        kept_positions: Dict[CanonicalEtype, List[np.ndarray]] = {
+            etype: ([positions[etype]] if len(positions.get(etype, ())) else [])
+            for etype in self.graph.canonical_etypes
+        }
+        return self._compact(seeds, kept_positions, required_nodes=required_nodes)
+
+    def assemble_hop_blocks(
+        self,
+        seeds,
+        hops: List[Dict[CanonicalEtype, np.ndarray]],
+    ) -> List[HopBlock]:
+        """Compact one block per hop from per-hop positions (see
+        :meth:`hop_positions`); returns outermost hop first, exactly as
+        :meth:`sample_blocks` does."""
+        seeds = self._validate_seeds(seeds)
+        if len(hops) != len(self.fanouts):
+            raise ValueError(
+                f"expected {len(self.fanouts)} per-hop position dicts, got {len(hops)}"
+            )
+        blocks: List[HopBlock] = []
+        dst_frontier = np.unique(seeds)
+        for hop_index, (fanout, positions) in enumerate(zip(self.fanouts, hops), start=1):
+            block = self.assemble(seeds, positions, required_nodes=dst_frontier)
+            dst_positions = np.searchsorted(block.node_map, dst_frontier)
+            blocks.append(HopBlock(
+                graph=block.graph,
+                parent=block.parent,
+                node_map=block.node_map,
+                seeds=block.seeds,
+                seed_positions=block.seed_positions,
+                fanouts=(fanout,),
+                hop=hop_index,
+                dst_nodes=dst_frontier,
+                dst_positions=dst_positions,
+            ))
+            dst_frontier = block.node_map
+        return list(reversed(blocks))
+
+    def sample(self, seeds) -> MinibatchBlock:
+        """Sample the merged block of a set of seed nodes (parent global ids).
+
+        A destination revisited at a later hop reuses its first draw even
+        when the hops' fanouts differ (the per-call memo in
+        :meth:`merged_positions`), so merged per-relation in-degrees never
+        exceed the cap of the hop that first reached the node — the
+        block-level fanout invariant.
+        """
+        return self.assemble(seeds, self.merged_positions(seeds))
 
     def sample_blocks(self, seeds) -> List[HopBlock]:
         """Sample one block per hop, outermost hop first.
@@ -359,30 +477,7 @@ class NeighborSampler:
         edges, which is what makes per-hop vs merged aggregation-work
         comparisons edge-for-edge fair.
         """
-        graph = self.graph
-        seeds = self._validate_seeds(seeds)
-        hops: List[HopBlock] = []
-        dst_frontier = np.unique(seeds)
-        for hop_index, fanout in enumerate(self.fanouts, start=1):
-            kept_positions: Dict[CanonicalEtype, List[np.ndarray]] = {
-                etype: [] for etype in graph.canonical_etypes
-            }
-            self._draw_frontier(dst_frontier, fanout, kept_positions)
-            block = self._compact(seeds, kept_positions, required_nodes=dst_frontier)
-            dst_positions = np.searchsorted(block.node_map, dst_frontier)
-            hops.append(HopBlock(
-                graph=block.graph,
-                parent=block.parent,
-                node_map=block.node_map,
-                seeds=block.seeds,
-                seed_positions=block.seed_positions,
-                fanouts=(fanout,),
-                hop=hop_index,
-                dst_nodes=dst_frontier,
-                dst_positions=dst_positions,
-            ))
-            dst_frontier = block.node_map
-        return list(reversed(hops))
+        return self.assemble_hop_blocks(seeds, self.hop_positions(seeds))
 
     def _draw(
         self,

@@ -11,6 +11,7 @@ weights inside edge-type segments.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from dataclasses import dataclass
 
@@ -20,6 +21,11 @@ from repro.graph.hetero_graph import HeteroGraph
 
 #: Per-graph memo of preprocessed contexts; entries die with their graph.
 _CONTEXT_CACHE: "weakref.WeakKeyDictionary[HeteroGraph, GraphContext]" = weakref.WeakKeyDictionary()
+
+#: Guards the memo: the serving router's executor workers bind blocks (and
+#: therefore call :meth:`GraphContext.cached`) from multiple threads, and a
+#: WeakKeyDictionary mutating during a concurrent lookup is not safe.
+_CONTEXT_CACHE_LOCK = threading.Lock()
 
 
 @dataclass
@@ -85,10 +91,15 @@ class GraphContext:
         are read-only at runtime), so repeated ``compile_model`` calls skip
         the segment/compaction preprocessing entirely.
         """
-        ctx = _CONTEXT_CACHE.get(graph)
+        with _CONTEXT_CACHE_LOCK:
+            ctx = _CONTEXT_CACHE.get(graph)
         if ctx is None:
+            # Preprocessing runs outside the lock (it can be expensive); a
+            # concurrent duplicate for the same graph is benign — last write
+            # wins and both contexts are equivalent read-only views.
             ctx = cls.from_graph(graph)
-            _CONTEXT_CACHE[graph] = ctx
+            with _CONTEXT_CACHE_LOCK:
+                ctx = _CONTEXT_CACHE.setdefault(graph, ctx)
         return ctx
 
     def degree_normalization(self) -> np.ndarray:

@@ -162,6 +162,41 @@ class MultiLayerModule:
     def output_feature_dim(self) -> Optional[int]:
         return self.modules[-1].output_feature_dim
 
+    @property
+    def output_name(self) -> str:
+        """The final layer's primary output buffer name (the stack's output)."""
+        return self.modules[-1].output_name
+
+    @property
+    def uses_memory_planning(self) -> bool:
+        """True when any layer leases arenas (serving must budget for it)."""
+        return any(module.memory_planner is not None for module in self.modules)
+
+    def attach_arena_sources(
+        self,
+        budget: SharedArenaBudget,
+        prefix: str,
+        capacity_bytes: Optional[int] = None,
+    ) -> List[str]:
+        """Lease every planned layer's arenas from ``budget``, as tenants
+        named ``{prefix}/layer{l}``.
+
+        The serving router calls this when an endpoint adopts a stack: unlike
+        :meth:`build`'s ``layer-{l}`` names, the prefixed names cannot collide
+        when several endpoints adopt stacks into one budget.  Returns the
+        tenant names it registered (the router rolls them back if the rest of
+        the registration fails).  ``capacity_bytes`` caps each layer tenant
+        individually.
+        """
+        names: List[str] = []
+        for index, module in enumerate(self.modules):
+            if module.memory_planner is None:
+                continue
+            tenant = f"{prefix}/layer{index}"
+            self.arena_sources[index] = budget.tenant(tenant, capacity_bytes=capacity_bytes)
+            names.append(tenant)
+        return names
+
     def parameters(self):
         """All layers' parameters, outermost layer first."""
         return [p for module in self.modules for p in module.parameters()]

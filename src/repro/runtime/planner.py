@@ -47,6 +47,7 @@ achieves relative to naive whole-pass materialisation.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Set, Tuple
@@ -706,6 +707,13 @@ class SharedArenaBudget:
         self._arenas: "OrderedDict[tuple, BufferArena]" = OrderedDict()
         self._tenants: Dict[str, TenantArenaStats] = {}
         self._tenant_caps: Dict[str, Optional[int]] = {}
+        #: Serialises lease/evict/report against concurrent executor workers:
+        #: the router's thread-pool stage leases arenas for different tenants
+        #: concurrently, and LRU reordering + cap enforcement + the per-tenant
+        #: byte accounting must stay consistent under that interleaving.
+        #: Reentrant because ``lease`` calls ``_enforce_caps``/``_evict`` and
+        #: ``report`` reads ``live_bytes`` while holding it.
+        self._lock = threading.RLock()
         self.high_water_bytes = 0
         #: Eviction order, oldest first: ``(tenant, bucket_key)`` tuples — the
         #: tests and the router report read this to explain *what* was dropped.
@@ -727,11 +735,12 @@ class SharedArenaBudget:
         """
         if capacity_bytes is not None and capacity_bytes <= 0:
             raise ValueError(f"tenant {name!r}: capacity_bytes must be positive (or None)")
-        if name not in self._tenants:
-            self._tenants[name] = TenantArenaStats()
-            self._tenant_caps[name] = capacity_bytes
-        elif capacity_bytes is not None:
-            self._tenant_caps[name] = capacity_bytes
+        with self._lock:
+            if name not in self._tenants:
+                self._tenants[name] = TenantArenaStats()
+                self._tenant_caps[name] = capacity_bytes
+            elif capacity_bytes is not None:
+                self._tenant_caps[name] = capacity_bytes
         return TenantArenaSource(self, name)
 
     def tenant_stats(self, name: str) -> TenantArenaStats:
@@ -748,10 +757,11 @@ class SharedArenaBudget:
         Used by the router to roll back a half-finished registration, and by
         callers decommissioning an endpoint.  Unknown names are a no-op.
         """
-        for key in [k for k in self._arenas if k[0] == name]:
-            del self._arenas[key]
-        self._tenants.pop(name, None)
-        self._tenant_caps.pop(name, None)
+        with self._lock:
+            for key in [k for k in self._arenas if k[0] == name]:
+                del self._arenas[key]
+            self._tenants.pop(name, None)
+            self._tenant_caps.pop(name, None)
 
     # ------------------------------------------------------------------
     # leasing
@@ -769,32 +779,34 @@ class SharedArenaBudget:
         A miss builds the arena (sized for the bucket ceiling, exactly like
         :class:`ArenaPool`) and then enforces the per-tenant and global caps.
         """
-        stats = self.tenant_stats(tenant)
         sizes = _ContextSizes.from_context(ctx)
         if training is None:
             training = bool(planner.plan.backward_kernels)
         key = (tenant, sizes.bucket_key(), np.dtype(dtype).str, bool(training))
-        arena = self._arenas.get(key)
-        if arena is not None:
-            stats.hits += 1
-            self._arenas.move_to_end(key)
-        else:
-            stats.misses += 1
-            arena = planner.build_arena(
-                ctx, dtype=dtype, training=training, capacity_sizes=sizes.bucketed()
-            )
-            self._arenas[key] = arena
-            stats.live_bytes += arena.arena_bytes()
-            stats.high_water_bytes = max(stats.high_water_bytes, stats.live_bytes)
-            self.high_water_bytes = max(self.high_water_bytes, self.live_bytes)
-            self._enforce_caps(protect=key)
-        shapes = planner.shapes_for(sizes, arena.memory_plan.slot_of)
+        with self._lock:
+            stats = self.tenant_stats(tenant)
+            arena = self._arenas.get(key)
+            if arena is not None:
+                stats.hits += 1
+                self._arenas.move_to_end(key)
+            else:
+                stats.misses += 1
+                arena = planner.build_arena(
+                    ctx, dtype=dtype, training=training, capacity_sizes=sizes.bucketed()
+                )
+                self._arenas[key] = arena
+                stats.live_bytes += arena.arena_bytes()
+                stats.high_water_bytes = max(stats.high_water_bytes, stats.live_bytes)
+                self.high_water_bytes = max(self.high_water_bytes, self.live_bytes)
+                self._enforce_caps(protect=key)
+            shapes = planner.shapes_for(sizes, arena.memory_plan.slot_of)
         return ArenaLease(arena, shapes, on_bind=lambda: self._touch(key))
 
     def _touch(self, key: tuple) -> None:
         """Refresh a key's LRU recency at *use* time (lease binds an env)."""
-        if key in self._arenas:
-            self._arenas.move_to_end(key)
+        with self._lock:
+            if key in self._arenas:
+                self._arenas.move_to_end(key)
 
     def _evict(self, key: tuple) -> None:
         arena = self._arenas.pop(key)
@@ -862,6 +874,10 @@ class SharedArenaBudget:
 
     def report(self) -> Dict[str, object]:
         """Budget-wide and per-tenant footprint/reuse summary."""
+        with self._lock:
+            return self._report_locked()
+
+    def _report_locked(self) -> Dict[str, object]:
         return {
             "capacity_bytes": self.capacity_bytes,
             "live_arenas": self.live_arenas,
@@ -886,8 +902,9 @@ class SharedArenaBudget:
 
     def clear(self) -> None:
         """Drop every arena and reset counters (tenant registrations stay)."""
-        self._arenas.clear()
-        self.eviction_log.clear()
-        self.high_water_bytes = 0
-        for name in self._tenants:
-            self._tenants[name] = TenantArenaStats()
+        with self._lock:
+            self._arenas.clear()
+            self.eviction_log.clear()
+            self.high_water_bytes = 0
+            for name in self._tenants:
+                self._tenants[name] = TenantArenaStats()

@@ -27,17 +27,21 @@ one-endpoint router (see :mod:`repro.serving.engine` for the deprecation
 note and migration pointers).
 """
 
+from repro.serving.admission import AdmissionController, AdmissionPolicy, TokenBucket
 from repro.serving.endpoint import Endpoint, ServingRequest
 from repro.serving.engine import ServingEngine
 from repro.serving.router import Router
 from repro.serving.scheduler import (
     EventLoopResult,
+    LaneSpec,
     MonotonicClock,
     ScheduledBatch,
+    ServingLoopResult,
     VirtualClock,
     WeightedRoundRobin,
     partition_into_batches,
     run_event_loop,
+    run_serving_loop,
 )
 from repro.serving.stats import BatchRecord, EngineStats, aggregate_summary, percentile
 
@@ -46,6 +50,9 @@ __all__ = [
     "Endpoint",
     "ServingEngine",
     "ServingRequest",
+    "AdmissionPolicy",
+    "AdmissionController",
+    "TokenBucket",
     "BatchRecord",
     "EngineStats",
     "aggregate_summary",
@@ -55,6 +62,9 @@ __all__ = [
     "WeightedRoundRobin",
     "ScheduledBatch",
     "EventLoopResult",
+    "LaneSpec",
+    "ServingLoopResult",
     "partition_into_batches",
     "run_event_loop",
+    "run_serving_loop",
 ]

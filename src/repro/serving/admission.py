@@ -1,0 +1,153 @@
+"""SLO-aware admission control for serving endpoints.
+
+An overloaded router used to queue without bound: every request was admitted,
+queues grew with offered load, and p99 latency collapsed past the capacity
+knee.  This module adds the three standard guards, layered *in front of* the
+WRR scheduler so fairness still decides who runs among admitted work:
+
+* **Token-bucket rate limiting** (:class:`TokenBucket`) — per-tenant
+  sustained requests/s with a bounded burst allowance.  The bucket is driven
+  by explicit timestamps (the event loop's virtual or monotonic clock), so
+  admission decisions replay deterministically under a
+  :class:`~repro.serving.scheduler.VirtualClock`.
+
+* **Bounded queues with backpressure** — an endpoint whose admitted-but-
+  uncompleted depth reaches ``max_queue_depth`` sheds new arrivals instead of
+  queueing them; the caller sees the shed status immediately and can back
+  off.
+
+* **Deadline shedding** — requests carry an absolute deadline
+  (``arrival + deadline_s``); the scheduler drops a request *at dispatch
+  time* when its deadline has already expired, so executor capacity is never
+  spent on work whose SLO is already lost.  Past the knee this converts
+  unbounded latency growth into a rising shed rate while the latency of
+  admitted requests stays bounded (wait ≤ deadline, plus one batch's
+  service).
+
+Shedding is non-throwing: a shed request is returned with
+``status`` ∈ {``"shed-rate"``, ``"shed-queue"``, ``"shed-deadline"``} and no
+result, and per-endpoint shed/queue-depth counters land in
+:class:`~repro.serving.stats.EngineStats`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Per-endpoint admission limits; ``None`` fields are unenforced.
+
+    Args:
+        rate_limit: sustained admission rate in requests/s.
+        burst: token-bucket depth (max requests admitted back-to-back after
+            an idle period); defaults to ``max(1, ceil(rate_limit))`` — one
+            second's worth of traffic — when a rate limit is set.
+        max_queue_depth: max admitted-but-uncompleted requests per endpoint.
+        deadline_s: per-request SLO; a request not *dispatched* within this
+            many seconds of its arrival is shed instead of executed.
+    """
+
+    rate_limit: Optional[float] = None
+    burst: Optional[int] = None
+    max_queue_depth: Optional[int] = None
+    deadline_s: Optional[float] = None
+
+    def __post_init__(self):
+        if self.rate_limit is not None and self.rate_limit <= 0:
+            raise ValueError("rate_limit must be positive (or None for unlimited)")
+        if self.burst is not None:
+            if self.rate_limit is None:
+                raise ValueError("burst needs a rate_limit (a bucket without a refill rate)")
+            if self.burst < 1:
+                raise ValueError("burst must be >= 1 (or None for the default)")
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1 (or None for unbounded)")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (or None for no deadline)")
+
+    @property
+    def effective_burst(self) -> Optional[int]:
+        if self.rate_limit is None:
+            return None
+        return self.burst if self.burst is not None else max(1, math.ceil(self.rate_limit))
+
+
+class TokenBucket:
+    """A deterministic token bucket driven by caller-supplied timestamps.
+
+    Starts full.  ``try_admit(now)`` refills ``rate`` tokens per elapsed
+    second (capped at ``burst``), then admits iff at least one whole token is
+    available.  Timestamps may repeat or (when a multi-worker loop folds a
+    completion before a logically-earlier arrival) step backwards; refill
+    only ever uses forward progress, so the admitted count over any window
+    ``w`` never exceeds ``burst + rate * w``.
+    """
+
+    def __init__(self, rate: float, burst: int):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._last_s = 0.0
+        self.admitted = 0
+        self.rejected = 0
+
+    def try_admit(self, now_s: float) -> bool:
+        now_s = float(now_s)
+        if now_s > self._last_s:
+            self.tokens = min(self.burst, self.tokens + (now_s - self._last_s) * self.rate)
+            self._last_s = now_s
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            self.admitted += 1
+            return True
+        self.rejected += 1
+        return False
+
+
+class AdmissionController:
+    """One endpoint's admission state: policy + bucket, shared by the
+    ``submit`` path and the serving event loop.
+
+    ``admit`` returns ``None`` for an admitted request (its ``status`` is set
+    to ``"queued"`` and its absolute ``deadline_s`` stamped) or the shed
+    status string.  Decisions are made at the request's *arrival* time —
+    under a virtual clock the same stream always sheds the same requests.
+    Queue-depth checks come before the rate bucket so a backpressured
+    request does not also burn a token.
+    """
+
+    def __init__(self, policy: AdmissionPolicy):
+        self.policy = policy
+        self.bucket = (
+            TokenBucket(policy.rate_limit, policy.effective_burst)
+            if policy.rate_limit is not None
+            else None
+        )
+
+    def admit(self, request, now_s: float, queue_depth: int) -> Optional[str]:
+        if (
+            self.policy.max_queue_depth is not None
+            and queue_depth >= self.policy.max_queue_depth
+        ):
+            request.status = "shed-queue"
+            return "shed-queue"
+        if self.bucket is not None and not self.bucket.try_admit(now_s):
+            request.status = "shed-rate"
+            return "shed-rate"
+        request.status = "queued"
+        if self.policy.deadline_s is not None:
+            request.deadline_s = float(now_s) + self.policy.deadline_s
+        return None
+
+    @staticmethod
+    def deadline_expired(request, now_s: float) -> bool:
+        """True when dispatching ``request`` at ``now_s`` cannot meet its SLO."""
+        return request.deadline_s is not None and float(now_s) > request.deadline_s

@@ -69,6 +69,14 @@ class EngineStats:
     batches: List[BatchRecord] = field(default_factory=list)
     request_latencies: List[float] = field(default_factory=list)
     arena: Optional[object] = None
+    #: Admission-control counters (all zero when no admission policy is set,
+    #: in which case the summary omits them entirely).
+    admitted: int = 0
+    shed_rate: int = 0
+    shed_queue: int = 0
+    shed_deadline: int = 0
+    failed_requests: int = 0
+    queue_depth_high_water: int = 0
 
     # ------------------------------------------------------------------
     def record_batch(self, record: BatchRecord) -> None:
@@ -76,6 +84,20 @@ class EngineStats:
 
     def record_latency(self, seconds: float) -> None:
         self.request_latencies.append(seconds)
+
+    def record_outcome(self, status: str) -> None:
+        """Fold one request's terminal status into the admission counters."""
+        if status == "queued" or status == "done":
+            self.admitted += 1
+        elif status == "shed-rate":
+            self.shed_rate += 1
+        elif status == "shed-queue":
+            self.shed_queue += 1
+        elif status == "shed-deadline":
+            self.shed_deadline += 1
+        elif status == "failed":
+            self.admitted += 1
+            self.failed_requests += 1
 
     # ------------------------------------------------------------------
     @property
@@ -121,9 +143,39 @@ class EngineStats:
     def latency_percentile(self, q: float) -> float:
         return percentile(self.request_latencies, q)
 
+    @property
+    def total_shed(self) -> int:
+        return self.shed_rate + self.shed_queue + self.shed_deadline
+
+    @property
+    def shed_fraction(self) -> float:
+        """Shed requests over all terminal outcomes (admitted + shed)."""
+        offered = self.admitted + self.total_shed
+        return self.total_shed / offered if offered else 0.0
+
     # ------------------------------------------------------------------
     def summary(self) -> Dict[str, object]:
-        """One flat dict for reports and the benchmark tables."""
+        """One flat dict for reports and the benchmark tables.
+
+        Admission counters appear only once admission control has actually
+        touched the endpoint (``record_outcome`` calls), so endpoints without
+        a policy keep the legacy summary shape.
+        """
+        out = self._base_summary()
+        if self.admitted or self.total_shed or self.queue_depth_high_water:
+            out.update({
+                "admitted": self.admitted,
+                "shed_rate_limited": self.shed_rate,
+                "shed_queue_full": self.shed_queue,
+                "shed_deadline": self.shed_deadline,
+                "deadline_misses": self.shed_deadline,
+                "failed_requests": self.failed_requests,
+                "shed_fraction": round(self.shed_fraction, 3),
+                "queue_depth_high_water": self.queue_depth_high_water,
+            })
+        return out
+
+    def _base_summary(self) -> Dict[str, object]:
         return {
             "requests": self.num_requests,
             "batches": self.num_batches,
@@ -166,7 +218,7 @@ def aggregate_summary(stats: Iterable[EngineStats]) -> Dict[str, object]:
         tracked_replays.extend(
             record.plan_replayed for record in s.batches if record.plan_replayed is not None
         )
-    return {
+    out = {
         "endpoints": len(stats),
         "requests": requests,
         "batches": batches,
@@ -181,3 +233,17 @@ def aggregate_summary(stats: Iterable[EngineStats]) -> Dict[str, object]:
             round(sum(tracked_replays) / len(tracked_replays), 3) if tracked_replays else None
         ),
     }
+    admitted = sum(s.admitted for s in stats)
+    shed = sum(s.total_shed for s in stats)
+    high_water = max((s.queue_depth_high_water for s in stats), default=0)
+    if admitted or shed or high_water:
+        offered = admitted + shed
+        out.update({
+            "admitted": admitted,
+            "shed": shed,
+            "shed_fraction": round(shed / offered, 3) if offered else 0.0,
+            "deadline_misses": sum(s.shed_deadline for s in stats),
+            "failed_requests": sum(s.failed_requests for s in stats),
+            "queue_depth_high_water": high_water,
+        })
+    return out
